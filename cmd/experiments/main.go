@@ -1,0 +1,61 @@
+// Command experiments runs the EXPERIMENTS.md suite: one experiment per
+// table, figure or theorem of the paper, printing paper-vs-measured
+// tables.
+//
+// Usage:
+//
+//	experiments                  # run everything
+//	experiments -run E1,E4,E7    # run a selection
+//	experiments -quick -seed 7   # smaller sweeps, custom seed
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"relquery/internal/core"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	var (
+		runIDs  = fs.String("run", "", "comma-separated experiment IDs (default: all)")
+		seed    = fs.Int64("seed", 1983, "random seed (default honors the paper's year)")
+		quick   = fs.Bool("quick", false, "smaller sweeps for a fast pass")
+		list    = fs.Bool("list", false, "list experiments and exit")
+		catalog = fs.Bool("catalog", false, "print the paper's complexity catalog and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *list {
+		for _, e := range core.All() {
+			fmt.Printf("%s  %s\n", e.ID, e.Title)
+		}
+		return nil
+	}
+	if *catalog {
+		for _, p := range core.Catalog() {
+			fmt.Printf("%-20s %s\n", p.Name, p.Class)
+			fmt.Printf("%20s %s\n", "", p.Statement)
+			fmt.Printf("%20s %s; %s\n", "", p.PaperRef, p.Procedure)
+		}
+		return nil
+	}
+	var ids []string
+	if *runIDs != "" {
+		for _, id := range strings.Split(*runIDs, ",") {
+			ids = append(ids, strings.TrimSpace(id))
+		}
+	}
+	return core.Run(ids, &core.Config{Out: os.Stdout, Seed: *seed, Quick: *quick})
+}

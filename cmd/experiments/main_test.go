@@ -1,0 +1,33 @@
+package main
+
+import "testing"
+
+func TestRunList(t *testing.T) {
+	if err := run([]string{"-list"}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRunSingleQuick(t *testing.T) {
+	if err := run([]string{"-run", "E0", "-quick"}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRunSelectionWithSpaces(t *testing.T) {
+	if err := run([]string{"-run", "E0, E1", "-quick", "-seed", "5"}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if err := run([]string{"-run", "E99"}); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestRunCatalog(t *testing.T) {
+	if err := run([]string{"-catalog"}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,172 @@
+// Command relquery evaluates a project–join expression against relations
+// loaded from a text file.
+//
+// Usage:
+//
+//	relquery -db data.rel -query 'pi[A C](pi[A B](T) * pi[B C](T))'
+//
+// The database file holds "relation <name> ... end" blocks (see package
+// relation's codec). The query references relations by name; the engine
+// flag selects the materializing evaluator (with pluggable join algorithm
+// and order) or the space-bounded tableau engine.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"relquery/internal/algebra"
+	"relquery/internal/join"
+	"relquery/internal/relation"
+	"relquery/internal/tableau"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "relquery:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("relquery", flag.ContinueOnError)
+	var (
+		dbPath    = fs.String("db", "", "path to the relations file (required)")
+		query     = fs.String("query", "", "project-join expression, e.g. 'pi[A B](T) * pi[B C](T)'")
+		queryFile = fs.String("query-file", "", "read the expression from a file instead")
+		engine    = fs.String("engine", "materialize", "evaluation engine: materialize or tableau")
+		algName   = fs.String("join", "hash", "join algorithm for the materializing engine: "+strings.Join(join.Names(), ", "))
+		orderName = fs.String("order", "greedy", "join order for the materializing engine: greedy or sequential")
+		budget    = fs.Int("budget", 0, "abort if any intermediate relation exceeds this many tuples (0 = unlimited)")
+		stats     = fs.Bool("stats", false, "print evaluation statistics to stderr")
+		countOnly = fs.Bool("count", false, "print only the result cardinality")
+		optimize  = fs.Bool("optimize", false, "rewrite the expression (projection pushdown etc.) before evaluating")
+		explain   = fs.Bool("explain", false, "print the operator tree with actual cardinalities instead of the result")
+		contains  = fs.String("contains", "", "instead of evaluating, test whether this whitespace-separated tuple (in target-scheme order) is in the result")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *dbPath == "" {
+		return fmt.Errorf("-db is required")
+	}
+	if (*query == "") == (*queryFile == "") {
+		return fmt.Errorf("exactly one of -query or -query-file is required")
+	}
+	src := *query
+	if *queryFile != "" {
+		data, err := os.ReadFile(*queryFile)
+		if err != nil {
+			return err
+		}
+		src = strings.TrimSpace(string(data))
+	}
+
+	f, err := os.Open(*dbPath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	db, err := relation.ReadDatabase(f)
+	if err != nil {
+		return err
+	}
+
+	expr, err := algebra.ParseForDatabase(src, db)
+	if err != nil {
+		return err
+	}
+	if *optimize {
+		rewritten, err := algebra.Optimize(expr)
+		if err != nil {
+			return err
+		}
+		if *stats {
+			fmt.Fprintf(os.Stderr, "optimized: %s\n", rewritten)
+		}
+		expr = rewritten
+	}
+
+	if *explain {
+		alg, err := join.ByName(*algName)
+		if err != nil {
+			return err
+		}
+		order, err := join.OrderByName(*orderName)
+		if err != nil {
+			return err
+		}
+		ev := algebra.Evaluator{Algorithm: alg, Order: order, MaxIntermediate: *budget}
+		plan, err := algebra.ExplainWith(&ev, expr, db)
+		if err != nil {
+			return err
+		}
+		fmt.Print(plan)
+		return nil
+	}
+
+	if *contains != "" {
+		vals := strings.Fields(*contains)
+		target := expr.Scheme()
+		if len(vals) != target.Len() {
+			return fmt.Errorf("-contains: %d values for target scheme %v (arity %d)", len(vals), target, target.Len())
+		}
+		tb, err := tableau.New(expr)
+		if err != nil {
+			return err
+		}
+		nt := relation.NamedTuple{Scheme: target, Vals: relation.TupleOf(vals...)}
+		ok, err := tb.Member(nt, db)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("member(%v in %v): %v\n", nt, expr, ok)
+		return nil
+	}
+
+	var result *relation.Relation
+	switch *engine {
+	case "materialize":
+		alg, err := join.ByName(*algName)
+		if err != nil {
+			return err
+		}
+		order, err := join.OrderByName(*orderName)
+		if err != nil {
+			return err
+		}
+		var js join.Stats
+		ev := algebra.Evaluator{Algorithm: alg, Order: order, Stats: &js, MaxIntermediate: *budget}
+		result, err = ev.Eval(expr, db)
+		if err != nil {
+			return err
+		}
+		if *stats {
+			fmt.Fprintf(os.Stderr, "engine=materialize join=%s order=%s %s\n", alg.Name(), order, js.String())
+		}
+	case "tableau":
+		tb, err := tableau.New(expr)
+		if err != nil {
+			return err
+		}
+		result, err = tb.Eval(db)
+		if err != nil {
+			return err
+		}
+		if *stats {
+			fmt.Fprintf(os.Stderr, "engine=tableau rows=%d vars=%d\n", len(tb.Rows), len(tb.Vars()))
+		}
+	default:
+		return fmt.Errorf("unknown engine %q (want materialize or tableau)", *engine)
+	}
+
+	if *countOnly {
+		fmt.Println(result.Len())
+		return nil
+	}
+	fmt.Printf("# %s\n# %d tuples over %v\n", expr, result.Len(), result.Scheme())
+	fmt.Print(relation.RenderSorted(result))
+	return nil
+}

@@ -1,0 +1,109 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeFile(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const testDB = `
+relation T
+A B C
+1 x p
+2 x q
+2 y q
+end
+`
+
+func TestRunEvaluatesQuery(t *testing.T) {
+	db := writeFile(t, "db.rel", testDB)
+	for _, engine := range []string{"materialize", "tableau"} {
+		err := run([]string{"-db", db, "-query", "pi[A C](pi[A B](T) * pi[B C](T))", "-engine", engine, "-count"})
+		if err != nil {
+			t.Errorf("engine %s: %v", engine, err)
+		}
+	}
+}
+
+func TestRunQueryFile(t *testing.T) {
+	db := writeFile(t, "db.rel", testDB)
+	qf := writeFile(t, "q.txt", "pi[A](T)\n")
+	if err := run([]string{"-db", db, "-query-file", qf}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRunJoinAlgorithmsAndOrders(t *testing.T) {
+	db := writeFile(t, "db.rel", testDB)
+	for _, alg := range []string{"hash", "sortmerge", "nestedloop"} {
+		for _, order := range []string{"greedy", "sequential"} {
+			err := run([]string{"-db", db, "-query", "pi[A B](T) * pi[B C](T)",
+				"-join", alg, "-order", order, "-stats", "-count"})
+			if err != nil {
+				t.Errorf("%s/%s: %v", alg, order, err)
+			}
+		}
+	}
+}
+
+func TestRunBudget(t *testing.T) {
+	db := writeFile(t, "db.rel", testDB)
+	// Budget of 1 tuple must trip on this query.
+	err := run([]string{"-db", db, "-query", "pi[A B](T) * pi[B C](T)", "-budget", "1"})
+	if err == nil {
+		t.Error("budget violation not reported")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	db := writeFile(t, "db.rel", testDB)
+	cases := [][]string{
+		{},          // no db
+		{"-db", db}, // no query
+		{"-db", db, "-query", "a", "-query-file", "b"}, // both
+		{"-db", db, "-query", "Z"},                     // unknown operand
+		{"-db", db, "-query", "T", "-engine", "bogus"},
+		{"-db", db, "-query", "T", "-join", "bogus"},
+		{"-db", db, "-query", "T", "-order", "bogus"},
+		{"-db", "/does/not/exist", "-query", "T"},
+	}
+	for i, args := range cases {
+		if err := run(args); err == nil {
+			t.Errorf("case %d (%v): no error", i, args)
+		}
+	}
+}
+
+func TestRunExplain(t *testing.T) {
+	db := writeFile(t, "db.rel", testDB)
+	if err := run([]string{"-db", db, "-query", "pi[A](pi[A B](T) * pi[B C](T))", "-explain"}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRunOptimize(t *testing.T) {
+	db := writeFile(t, "db.rel", testDB)
+	if err := run([]string{"-db", db, "-query", "pi[A](pi[A B](T) * pi[B C](T))", "-optimize", "-stats", "-count"}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRunContains(t *testing.T) {
+	db := writeFile(t, "db.rel", testDB)
+	if err := run([]string{"-db", db, "-query", "pi[A B](T)", "-contains", "1 x"}); err != nil {
+		t.Error(err)
+	}
+	// Wrong arity.
+	if err := run([]string{"-db", db, "-query", "pi[A B](T)", "-contains", "1"}); err == nil {
+		t.Error("arity mismatch accepted")
+	}
+}

@@ -1,0 +1,201 @@
+// Command satreduce builds the paper's gadget from a CNF formula and can
+// decide satisfiability problems through the query engine, cross-checked
+// against the direct DPLL solver.
+//
+// Usage:
+//
+//	satreduce -cnf formula.cnf -emit                 # print R_G and φ_G
+//	satreduce -formula '(x1+x2+x3)(~x1+x2+~x3)(x1+~x2+x3)' -decide sat
+//	satreduce -cnf formula.cnf -decide count -check
+//
+// The -cnf file may be DIMACS ("p cnf ...") or the human-readable clause
+// syntax. Formulas are normalized into the paper's reduction form (3CNF,
+// ≥ 3 clauses, every variable used) before the gadget is built.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"relquery/internal/cnf"
+	"relquery/internal/core"
+	"relquery/internal/qbf"
+	"relquery/internal/reduction"
+	"relquery/internal/relation"
+	"relquery/internal/sat"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "satreduce:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("satreduce", flag.ContinueOnError)
+	var (
+		cnfPath = fs.String("cnf", "", "path to a CNF file (DIMACS or clause syntax)")
+		formula = fs.String("formula", "", "inline formula, e.g. '(x1 + ~x2 + x3)(...)'")
+		emit    = fs.Bool("emit", false, "print the gadget relation R_G and expression φ_G")
+		decide  = fs.String("decide", "", "decide through the query engine: sat, unsat or count")
+		check   = fs.Bool("check", false, "cross-check the query answer against the direct solver")
+		forall  = fs.String("forall", "", "comma-separated universal variables: decide the Q-3SAT sentence ∀X ∃rest G via Theorem 4")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	g, err := loadFormula(*cnfPath, *formula)
+	if err != nil {
+		return err
+	}
+	normalized, err := normalize(g)
+	if err != nil {
+		return err
+	}
+	if !*emit && *decide == "" && *forall == "" {
+		return fmt.Errorf("nothing to do: pass -emit, -decide and/or -forall")
+	}
+
+	if *forall != "" {
+		universal, err := parseVars(*forall)
+		if err != nil {
+			return err
+		}
+		inst := &qbf.Instance{G: normalized, Universal: universal}
+		res, err := core.Q3SATViaQueryComparison(inst)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("forall-exists(query route): %v   [%s]\n", res.Answer, res.Route)
+		if *check {
+			direct, err := qbf.Solve(inst)
+			if err != nil {
+				return err
+			}
+			if err := report(res.Answer == direct.Holds, fmt.Sprintf("qbf solver says %v", direct.Holds)); err != nil {
+				return err
+			}
+		}
+	}
+
+	if *emit {
+		c, err := reduction.New(normalized)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("# G = %v\n# m = %d clauses, n = %d variables, |R_G| = %d\n",
+			normalized, c.M(), c.N(), c.R.Len())
+		if err := relation.WriteRelation(os.Stdout, c.OperandName(), c.R); err != nil {
+			return err
+		}
+		phi, err := c.PhiG()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("# φ_G:\n%s\n", phi)
+	}
+
+	switch *decide {
+	case "":
+	case "sat":
+		res, err := core.SATViaMembership(normalized)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("satisfiable(query route): %v   [%s]\n", res.Answer, res.Route)
+		if *check {
+			direct, _, err := sat.Satisfiable(normalized)
+			if err != nil {
+				return err
+			}
+			return report(res.Answer == direct, fmt.Sprintf("dpll says %v", direct))
+		}
+	case "unsat":
+		res, err := core.UNSATViaFixpoint(normalized)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("unsatisfiable(query route): %v   [%s]\n", res.Answer, res.Route)
+		if *check {
+			direct, _, err := sat.Satisfiable(normalized)
+			if err != nil {
+				return err
+			}
+			return report(res.Answer == !direct, fmt.Sprintf("dpll says satisfiable=%v", direct))
+		}
+	case "count":
+		n, err := core.CountModelsViaQuery(normalized)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("models(query route): %d   [a(G) = |φ_G(R_G)| − 7m − 1]\n", n)
+		if *check {
+			direct, err := sat.CountModels(normalized)
+			if err != nil {
+				return err
+			}
+			return report(n == direct, fmt.Sprintf("component counter says %d", direct))
+		}
+	default:
+		return fmt.Errorf("unknown -decide %q (want sat, unsat or count)", *decide)
+	}
+	return nil
+}
+
+func loadFormula(path, inline string) (*cnf.Formula, error) {
+	if (path == "") == (inline == "") {
+		return nil, fmt.Errorf("exactly one of -cnf or -formula is required")
+	}
+	if inline != "" {
+		return cnf.Parse(inline)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	text := strings.TrimSpace(string(data))
+	if strings.HasPrefix(text, "p ") || strings.HasPrefix(text, "c ") || strings.HasPrefix(text, "c\n") {
+		return cnf.ParseDIMACS(strings.NewReader(text))
+	}
+	return cnf.Parse(text)
+}
+
+// normalize mirrors the atlas' preprocessing: pad to three clauses and
+// compact unused variables, then insist on reduction form.
+func normalize(g *cnf.Formula) (*cnf.Formula, error) {
+	g2, err := cnf.EnsureMinClauses(g, 3)
+	if err != nil {
+		return nil, err
+	}
+	g3, _ := cnf.Compact(g2)
+	if err := g3.CheckReductionForm(); err != nil {
+		return nil, err
+	}
+	return g3, nil
+}
+
+func report(agree bool, detail string) error {
+	if agree {
+		fmt.Printf("cross-check: agree (%s)\n", detail)
+		return nil
+	}
+	return fmt.Errorf("cross-check FAILED: %s", detail)
+}
+
+// parseVars parses "1,3,5" into variable indices.
+func parseVars(spec string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(part), "x"))
+		v, err := strconv.Atoi(part)
+		if err != nil || v < 1 {
+			return nil, fmt.Errorf("bad variable %q in -forall", part)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

@@ -1,0 +1,75 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeFile(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunEmitAndDecide(t *testing.T) {
+	if err := run([]string{"-formula", "(x1+x2+x3)(~x2+x3+~x4)(~x3+~x4+~x5)", "-emit"}); err != nil {
+		t.Error(err)
+	}
+	for _, decide := range []string{"sat", "unsat", "count"} {
+		err := run([]string{"-formula", "(x1+x2+x3)(~x2+x3+~x4)(~x3+~x4+~x5)", "-decide", decide, "-check"})
+		if err != nil {
+			t.Errorf("decide %s: %v", decide, err)
+		}
+	}
+}
+
+func TestRunDIMACSFile(t *testing.T) {
+	path := writeFile(t, "f.cnf", "p cnf 5 3\n1 2 3 0\n-2 3 -4 0\n-3 -4 -5 0\n")
+	if err := run([]string{"-cnf", path, "-decide", "sat", "-check"}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRunHumanFile(t *testing.T) {
+	path := writeFile(t, "f.txt", "(x1 + x2 + x3)(~x1 + x2 + ~x3)(x1 + ~x2 + x3)\n")
+	if err := run([]string{"-cnf", path, "-decide", "count", "-check"}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRunShortFormulaIsPadded(t *testing.T) {
+	// One clause: normalization pads to three clauses.
+	if err := run([]string{"-formula", "(x1 + x2 + x3)", "-decide", "sat", "-check"}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := [][]string{
+		{},                         // neither -cnf nor -formula
+		{"-formula", "(x1+x2+x3)"}, // nothing to do
+		{"-formula", "(x1+x2"},     // parse error
+		{"-formula", "(x1+x1+x1)", "-decide", "sat"}, // repeated var stays after padding? converts? -> reduction form error
+		{"-cnf", "/does/not/exist", "-emit"},
+		{"-formula", "(x1+x2+x3)", "-decide", "bogus"},
+	}
+	for i, args := range cases {
+		if err := run(args); err == nil {
+			t.Errorf("case %d (%v): no error", i, args)
+		}
+	}
+}
+
+func TestRunForall(t *testing.T) {
+	err := run([]string{"-formula", "(x1+x2+x3)(~x1+x2+~x3)(x1+~x2+x3)", "-forall", "1", "-check"})
+	if err != nil {
+		t.Error(err)
+	}
+	if err := run([]string{"-formula", "(x1+x2+x3)(~x1+x2+~x3)(x1+~x2+x3)", "-forall", "zero"}); err == nil {
+		t.Error("bad -forall accepted")
+	}
+}

@@ -1,0 +1,83 @@
+// countmodels counts the satisfying assignments of a 3CNF formula through
+// the relational query engine, using Theorem 3's identity
+//
+//	a(G) = |φ_G(R_G)| − 7m − 1,
+//
+// and cross-checks against the direct #SAT counter. This is the paper's
+// #P-hardness of result counting, run forwards: a hard counting problem
+// answered by counting the tuples of a project–join query.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"relquery"
+)
+
+func main() {
+	// Fixed showcase: the paper's example.
+	g := relquery.PaperExample()
+	report(g)
+
+	// A padded copy: each fresh clause (w1+w2+w3) multiplies the model
+	// count by exactly 7 — visible in both counters.
+	padded, err := relquery.To3CNF(g) // no-op conversion, then pad below
+	if err != nil {
+		log.Fatal(err)
+	}
+	padded.NumVars += 3
+	padded.Clauses = append(padded.Clauses,
+		relquery.Clause{relquery.Lit(6), relquery.Lit(7), relquery.Lit(8)})
+	report(padded)
+
+	// Random sweep.
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 3; i++ {
+		f, err := randomFormula(rng)
+		if err != nil {
+			log.Fatal(err)
+		}
+		report(f)
+	}
+}
+
+func randomFormula(rng *rand.Rand) (*relquery.Formula, error) {
+	var clauses []relquery.Clause
+	n := 5
+	for j := 0; j < 4; j++ {
+		vars := rng.Perm(n)[:3]
+		c := make(relquery.Clause, 3)
+		for i, v := range vars {
+			l := relquery.Lit(v + 1)
+			if rng.Intn(2) == 0 {
+				l = -l
+			}
+			c[i] = l
+		}
+		clauses = append(clauses, c)
+	}
+	return relquery.NewFormula(n, clauses...)
+}
+
+func report(g *relquery.Formula) {
+	viaQuery, err := relquery.CountModelsViaQuery(g)
+	if err != nil {
+		log.Fatal(err)
+	}
+	direct, err := relquery.CountModels(g)
+	if err != nil {
+		log.Fatal(err)
+	}
+	status := "agree"
+	if viaQuery != direct {
+		// CountModelsViaQuery counts over the formula in reduction form
+		// (padded to 3 clauses, unused variables compacted); the direct
+		// count is over the formula as given. They agree exactly when the
+		// formula is already in reduction form.
+		status = fmt.Sprintf("differ (reduction normalizes the formula; direct count %d is over the raw formula)", direct)
+	}
+	fmt.Printf("G = %v\n  a(G) via |φ_G(R_G)| − 7m − 1: %d\n  a(G) via #SAT counter:        %d   [%s]\n\n",
+		g, viaQuery, direct, status)
+}

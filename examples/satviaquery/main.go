@@ -1,0 +1,67 @@
+// satviaquery decides Boolean satisfiability through the relational query
+// engine, exactly as the paper's Proposition 1 prescribes: build the
+// gadget relation R_G and expression φ_G from a 3CNF formula G, and test
+// whether the all-x tuple u_G shows up in π_Y(φ_G(R_G)). The answer is
+// cross-checked against the direct DPLL solver.
+//
+// This is the NP-completeness of tuple membership (Yannakakis 1981, via
+// the paper's construction) made executable.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"relquery"
+)
+
+func main() {
+	for _, src := range []string{
+		// The paper's worked example — satisfiable.
+		"(x1 + x2 + x3)(~x2 + x3 + ~x4)(~x3 + ~x4 + ~x5)",
+		// All eight sign patterns over three variables — unsatisfiable.
+		"(x1+x2+x3)(x1+x2+~x3)(x1+~x2+x3)(x1+~x2+~x3)" +
+			"(~x1+x2+x3)(~x1+x2+~x3)(~x1+~x2+x3)(~x1+~x2+~x3)",
+		// A forced chain — satisfiable with exactly one model on x1..x3.
+		"(x1 + x1 + x2)(~x1 + x2 + x3)(~x2 + ~x2 + x3)",
+	} {
+		g, err := relquery.ParseCNF(src)
+		if err != nil {
+			// The third formula repeats variables inside clauses; convert
+			// it to proper 3CNF first.
+			log.Fatal(err)
+		}
+		// Bring the formula into the paper's reduction form (3 distinct
+		// variables per clause) if needed.
+		if !g.Is3CNF() {
+			g, err = relquery.To3CNF(g)
+			if err != nil {
+				log.Fatal(err)
+			}
+		}
+
+		res, err := relquery.SATViaMembership(g)
+		if err != nil {
+			log.Fatal(err)
+		}
+		direct, _, err := relquery.Satisfiable(g)
+		if err != nil {
+			log.Fatal(err)
+		}
+		status := "agree"
+		if res.Answer != direct {
+			status = "DISAGREE"
+		}
+		fmt.Printf("G = %v\n  query route: satisfiable=%v   via %s\n  dpll:        satisfiable=%v   [%s]\n\n",
+			g, res.Answer, res.Route, direct, status)
+	}
+
+	// The dual co-NP view: G is unsatisfiable iff φ_G(R_G) = R_G, i.e. the
+	// gadget relation is a fixpoint of its own project-join expression.
+	g := relquery.PaperExample()
+	fix, err := relquery.UNSATViaFixpoint(g)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("φ_G(R_G) = R_G for the paper example: %v (false because G is satisfiable)\n", fix.Answer)
+}

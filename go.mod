@@ -1,0 +1,3 @@
+module relquery
+
+go 1.22

@@ -1,0 +1,185 @@
+package algebra
+
+import (
+	"fmt"
+
+	"relquery/internal/join"
+	"relquery/internal/relation"
+)
+
+// Evaluator materializes project–join expressions against a database. The
+// zero value is ready to use: hash joins, greedy join ordering, no
+// statistics.
+type Evaluator struct {
+	// Algorithm performs each binary join; nil means join.Hash.
+	Algorithm join.Algorithm
+	// Order sequences n-ary joins (join.Greedy or join.Sequential).
+	Order join.Order
+	// Stats, when non-nil, accumulates intermediate-result statistics
+	// across Eval calls. The paper's hardness results manifest as
+	// Stats.MaxIntermediate exploding while inputs and outputs stay small.
+	Stats *join.Stats
+	// MaxIntermediate, when positive, aborts evaluation with
+	// ErrBudgetExceeded as soon as any intermediate relation exceeds that
+	// many tuples. It is the guard rail for exponential blow-up.
+	MaxIntermediate int
+	// SemijoinPrefilter, when true, runs pairwise semijoin reduction to
+	// fixpoint over each n-ary join's inputs before joining. The filter is
+	// always sound; it is complete (removes every dangling tuple) exactly
+	// for acyclic joins. It cannot tame the paper's gadget queries — their
+	// intermediate blow-up arises from recombination, not dangling tuples.
+	SemijoinPrefilter bool
+	// Cache, when true, memoizes structurally identical subexpressions
+	// within one Eval call (common-subexpression elimination), keyed by
+	// the rendered expression text. The memo does not outlive the call —
+	// the database may change between calls.
+	Cache bool
+}
+
+// ErrBudgetExceeded is returned (wrapped) when evaluation exceeds the
+// Evaluator's MaxIntermediate budget.
+var ErrBudgetExceeded = fmt.Errorf("algebra: intermediate result exceeds evaluation budget")
+
+func (ev *Evaluator) algorithm() join.Algorithm {
+	if ev.Algorithm == nil {
+		return join.Hash{}
+	}
+	return ev.Algorithm
+}
+
+func (ev *Evaluator) check(r *relation.Relation) error {
+	if ev.MaxIntermediate > 0 && r.Len() > ev.MaxIntermediate {
+		return fmt.Errorf("%w: %d tuples > budget %d", ErrBudgetExceeded, r.Len(), ev.MaxIntermediate)
+	}
+	return nil
+}
+
+// Eval computes e(db). Operand references are checked against the
+// database: the named relation must exist and its scheme must be set-equal
+// to the operand's declared scheme.
+func (ev *Evaluator) Eval(e Expr, db relation.Database) (*relation.Relation, error) {
+	var memo map[string]*relation.Relation
+	if ev.Cache {
+		memo = make(map[string]*relation.Relation)
+	}
+	return ev.eval(e, db, memo)
+}
+
+func (ev *Evaluator) eval(e Expr, db relation.Database, memo map[string]*relation.Relation) (*relation.Relation, error) {
+	var key string
+	if memo != nil {
+		// Operands are cheap lookups; only memoize composite nodes.
+		if _, isOp := e.(*Operand); !isOp {
+			key = e.String()
+			if cached, ok := memo[key]; ok {
+				return cached, nil
+			}
+		}
+	}
+	out, err := ev.evalNode(e, db, memo)
+	if err != nil {
+		return nil, err
+	}
+	if memo != nil && key != "" {
+		memo[key] = out
+	}
+	return out, nil
+}
+
+func (ev *Evaluator) evalNode(e Expr, db relation.Database, memo map[string]*relation.Relation) (*relation.Relation, error) {
+	switch x := e.(type) {
+	case *Operand:
+		r, err := db.Get(x.Name())
+		if err != nil {
+			return nil, err
+		}
+		if !r.Scheme().Equal(x.Scheme()) {
+			return nil, fmt.Errorf("algebra: operand %q declared over %v but database relation has scheme %v",
+				x.Name(), x.Scheme(), r.Scheme())
+		}
+		return r, nil
+
+	case *Project:
+		child, err := ev.eval(x.Of(), db, memo)
+		if err != nil {
+			return nil, err
+		}
+		out, err := child.Project(x.Onto())
+		if err != nil {
+			return nil, err
+		}
+		ev.Stats.Observe(out)
+		if err := ev.check(out); err != nil {
+			return nil, err
+		}
+		return out, nil
+
+	case *Join:
+		args := make([]*relation.Relation, len(x.Args()))
+		for i, a := range x.Args() {
+			r, err := ev.eval(a, db, memo)
+			if err != nil {
+				return nil, err
+			}
+			args[i] = r
+		}
+		out, err := ev.multi(args)
+		if err != nil {
+			return nil, err
+		}
+		return out, nil
+
+	default:
+		return nil, fmt.Errorf("algebra: unknown expression type %T", e)
+	}
+}
+
+// multi joins args, aborting mid-plan as soon as any binary join result
+// exceeds the budget.
+func (ev *Evaluator) multi(args []*relation.Relation) (*relation.Relation, error) {
+	if ev.SemijoinPrefilter && len(args) > 1 {
+		reduced, _, err := join.ReduceFixpoint(args)
+		if err != nil {
+			return nil, err
+		}
+		args = reduced
+	}
+	alg := ev.algorithm()
+	if ev.MaxIntermediate > 0 {
+		alg = budgetAlgorithm{inner: alg, max: ev.MaxIntermediate}
+	}
+	return join.Multi(args, alg, ev.Order, ev.Stats)
+}
+
+// budgetAlgorithm wraps an Algorithm and fails when any join result
+// exceeds the budget.
+type budgetAlgorithm struct {
+	inner join.Algorithm
+	max   int
+}
+
+func (b budgetAlgorithm) Name() string { return b.inner.Name() }
+
+func (b budgetAlgorithm) Join(l, r *relation.Relation) (*relation.Relation, error) {
+	out, err := b.inner.Join(l, r)
+	if err != nil {
+		return nil, err
+	}
+	if out.Len() > b.max {
+		return nil, fmt.Errorf("%w: %d tuples > budget %d", ErrBudgetExceeded, out.Len(), b.max)
+	}
+	return out, nil
+}
+
+// Eval evaluates e(db) with default settings (hash join, greedy order).
+func Eval(e Expr, db relation.Database) (*relation.Relation, error) {
+	ev := Evaluator{}
+	return ev.Eval(e, db)
+}
+
+// EvalSingle evaluates an expression whose operands all name the same
+// single relation — the common case for the paper's constructions, where
+// every query runs against one relation R.
+func EvalSingle(e Expr, name string, r *relation.Relation) (*relation.Relation, error) {
+	return Eval(e, relation.Single(name, r))
+}

@@ -1,0 +1,82 @@
+package algebra
+
+import (
+	"fmt"
+	"strings"
+
+	"relquery/internal/relation"
+)
+
+// Explain evaluates the expression bottom-up and renders its operator tree
+// with the actual cardinality of every node — the library's EXPLAIN
+// ANALYZE. The tree makes the paper's phenomenon visible at a glance: on
+// the gadget queries the join node's row count dwarfs both its inputs and
+// the projection above it.
+//
+//	pi[A C]                                   rows=4
+//	└─ *                                      rows=5
+//	   ├─ pi[A B](T)                          rows=3
+//	   └─ pi[B C](T)                          rows=3
+//
+// Explain materializes every node with the Evaluator's defaults; use a
+// budgeted Evaluator and ExplainWith when the query may blow up.
+func Explain(e Expr, db relation.Database) (string, error) {
+	ev := Evaluator{}
+	return ExplainWith(&ev, e, db)
+}
+
+// ExplainWith is Explain under a caller-configured evaluator (budget, join
+// algorithm, prefilter).
+func ExplainWith(ev *Evaluator, e Expr, db relation.Database) (string, error) {
+	var b strings.Builder
+	if _, err := explainNode(ev, e, db, &b, "", ""); err != nil {
+		return "", err
+	}
+	return b.String(), nil
+}
+
+// explainNode renders one node and returns its materialized value.
+func explainNode(ev *Evaluator, e Expr, db relation.Database, b *strings.Builder, prefix, childPrefix string) (*relation.Relation, error) {
+	label := nodeLabel(e)
+	var children []Expr
+	switch x := e.(type) {
+	case *Project:
+		children = []Expr{x.Of()}
+	case *Join:
+		children = x.Args()
+	}
+
+	// Evaluate children first (post-order), collecting their relations,
+	// but print this node before its subtree for the usual EXPLAIN shape.
+	// Two passes: compute sizes via a single evaluation of this node and
+	// recursion for children.
+	rel, err := ev.Eval(e, db)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(b, "%s%-42s rows=%d\n", prefix, label, rel.Len())
+	for i, c := range children {
+		connector, nextIndent := "├─ ", "│  "
+		if i == len(children)-1 {
+			connector, nextIndent = "└─ ", "   "
+		}
+		if _, err := explainNode(ev, c, db, b, childPrefix+connector, childPrefix+nextIndent); err != nil {
+			return nil, err
+		}
+	}
+	return rel, nil
+}
+
+// nodeLabel renders a node header without descending into subtrees.
+func nodeLabel(e Expr) string {
+	switch x := e.(type) {
+	case *Operand:
+		return x.Name()
+	case *Project:
+		return "pi[" + x.Onto().String() + "]"
+	case *Join:
+		return fmt.Sprintf("* (natural join, %d inputs)", len(x.Args()))
+	default:
+		return fmt.Sprintf("%T", e)
+	}
+}

@@ -1,0 +1,157 @@
+package algebra
+
+import (
+	"strings"
+	"testing"
+
+	"relquery/internal/relation"
+)
+
+var testScheme = relation.MustScheme("A", "B", "C")
+
+func opT() *Operand { return MustOperand("T", testScheme) }
+
+func TestOperandBasics(t *testing.T) {
+	o := opT()
+	if o.Name() != "T" || o.String() != "T" {
+		t.Errorf("operand = %q / %q", o.Name(), o.String())
+	}
+	if !o.Scheme().SameOrder(testScheme) {
+		t.Errorf("scheme = %v", o.Scheme())
+	}
+	if got := o.Operands(); len(got) != 1 || got[0] != "T" {
+		t.Errorf("Operands = %v", got)
+	}
+	if _, err := NewOperand("", testScheme); err == nil {
+		t.Error("empty operand name accepted")
+	}
+}
+
+func TestProjectValidation(t *testing.T) {
+	p, err := NewProject(relation.MustScheme("A", "C"), opT())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Scheme().String(); got != "A C" {
+		t.Errorf("Scheme = %q", got)
+	}
+	if _, err := NewProject(relation.MustScheme("A", "Z"), opT()); err == nil {
+		t.Error("projection onto foreign attribute accepted")
+	}
+	if _, err := NewProject(relation.MustScheme("A"), nil); err == nil {
+		t.Error("projection of nil accepted")
+	}
+}
+
+func TestJoinSchemeAndFlattening(t *testing.T) {
+	u := MustOperand("U", relation.MustScheme("C", "D"))
+	v := MustOperand("V", relation.MustScheme("D", "E"))
+	inner := MustJoin(opT(), u)
+	outer := MustJoin(inner, v)
+	if got := outer.Scheme().String(); got != "A B C D E" {
+		t.Errorf("Scheme = %q", got)
+	}
+	// Nested joins flatten.
+	if len(outer.Args()) != 3 {
+		t.Errorf("Args = %d, want 3 (flattened)", len(outer.Args()))
+	}
+	if _, err := NewJoin(opT()); err == nil {
+		t.Error("1-ary join accepted")
+	}
+	if _, err := NewJoin(opT(), nil); err == nil {
+		t.Error("nil join argument accepted")
+	}
+}
+
+func TestJoinAll(t *testing.T) {
+	if _, err := JoinAll(); err == nil {
+		t.Error("JoinAll() accepted")
+	}
+	single, err := JoinAll(opT())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := single.(*Operand); !ok {
+		t.Errorf("JoinAll(x) = %T, want *Operand", single)
+	}
+	double, err := JoinAll(opT(), opT())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := double.(*Join); !ok {
+		t.Errorf("JoinAll(x,y) = %T, want *Join", double)
+	}
+}
+
+func TestOperandsDeduplicated(t *testing.T) {
+	u := MustOperand("U", relation.MustScheme("C", "D"))
+	e := MustJoin(
+		MustProject(relation.MustScheme("A"), opT()),
+		MustProject(relation.MustScheme("B"), opT()),
+		u,
+	)
+	got := e.Operands()
+	if len(got) != 2 || got[0] != "T" || got[1] != "U" {
+		t.Errorf("Operands = %v", got)
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	e := MustJoin(
+		MustProject(relation.MustScheme("A", "B"), opT()),
+		MustProject(relation.MustScheme("B", "C"), opT()),
+	)
+	want := "pi[A B](T) * pi[B C](T)"
+	if got := e.String(); got != want {
+		t.Errorf("String = %q, want %q", got, want)
+	}
+	// Projection of a join parenthesizes nothing extra; join inside join
+	// would, but joins flatten so it cannot occur from constructors.
+	p := MustProject(relation.MustScheme("A"), e)
+	if got := p.String(); got != "pi[A](pi[A B](T) * pi[B C](T))" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestEqualAndSize(t *testing.T) {
+	a := MustJoin(MustProject(relation.MustScheme("A"), opT()), opT())
+	b := MustJoin(MustProject(relation.MustScheme("A"), opT()), opT())
+	c := MustJoin(opT(), MustProject(relation.MustScheme("A"), opT()))
+	if !Equal(a, b) {
+		t.Error("identical expressions unequal")
+	}
+	if Equal(a, c) {
+		t.Error("argument order ignored")
+	}
+	if Equal(a, opT()) {
+		t.Error("different shapes equal")
+	}
+	if got := Size(a); got != 4 { // join + project + operand + operand
+		t.Errorf("Size = %d, want 4", got)
+	}
+}
+
+func TestPaperExampleExpressionRendering(t *testing.T) {
+	// φ_G for the paper's example formula, built by hand; checks that
+	// subscripted attributes survive rendering.
+	ts := relation.MustScheme(
+		"F1", "F2", "F3", "X1", "X2", "X3", "X4", "X5",
+		"Y{1,2}", "Y{1,3}", "Y{2,3}", "S",
+	)
+	tOp := MustOperand("T", ts)
+	phi := MustJoin(
+		MustProject(relation.MustScheme("F1", "F2", "F3"), tOp),
+		MustProject(relation.MustScheme("F1", "X1", "X2", "X3", "Y{1,2}", "Y{1,3}", "S"), tOp),
+		MustProject(relation.MustScheme("F2", "X2", "X3", "X4", "Y{1,2}", "Y{2,3}", "S"), tOp),
+		MustProject(relation.MustScheme("F3", "X3", "X4", "X5", "Y{1,3}", "Y{2,3}", "S"), tOp),
+	)
+	s := phi.String()
+	if !strings.Contains(s, "pi[F1 X1 X2 X3 Y{1,2} Y{1,3} S](T)") {
+		t.Errorf("rendered φ_G missing clause projection: %s", s)
+	}
+	// trs(φ_G) covers the whole scheme of T (as a set; the written order
+	// follows first occurrence across the join arguments).
+	if !phi.Scheme().Equal(ts) {
+		t.Errorf("trs(φ_G) = %q, want all of %q", phi.Scheme(), ts)
+	}
+}

@@ -1,0 +1,46 @@
+package algebra
+
+import (
+	"testing"
+
+	"relquery/internal/relation"
+)
+
+// FuzzParse checks that the expression parser never panics and that
+// anything it accepts round-trips through String and re-parses to a
+// structurally equal expression.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"T",
+		"pi[A B](T)",
+		"pi[A B](T) * pi[B C](T)",
+		"pi[A](pi[A B](T) * pi[B C](T))",
+		"((T))",
+		"pi[Y{1,2} S](T)",
+		"pi[](T)",
+		"pi[A(T)",
+		"T * * T",
+		"project[A]((T))",
+		"pi * T",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	schemes := map[string]relation.Scheme{
+		"T":  relation.MustScheme("A", "B", "C", "Y{1,2}", "S"),
+		"pi": relation.MustScheme("P"),
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		e, err := Parse(src, schemes)
+		if err != nil {
+			return
+		}
+		back, err := Parse(e.String(), schemes)
+		if err != nil {
+			t.Fatalf("accepted %q but rejected its rendering %q: %v", src, e.String(), err)
+		}
+		if !Equal(e, back) {
+			t.Fatalf("round trip changed %q -> %q", e.String(), back.String())
+		}
+	})
+}

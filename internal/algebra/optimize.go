@@ -1,0 +1,169 @@
+package algebra
+
+import (
+	"relquery/internal/relation"
+)
+
+// Optimize rewrites a project–join expression into an equivalent one that
+// evaluates with smaller intermediates, applying three classical rules to
+// fixpoint:
+//
+//	cascade      π_X(π_Y(e))        → π_X(e)
+//	pushdown     π_X(e₁ ∗ … ∗ e_k)  → π_X(π_{N₁}(e₁) ∗ … ∗ π_{N_k}(e_k))
+//	             where N_i = scheme(e_i) ∩ (X ∪ J) and J is the set of
+//	             attributes shared by at least two join arguments
+//	idempotence  e ∗ e              → e   (structurally equal arguments)
+//
+// plus removal of no-op projections (π onto the child's exact scheme, in
+// order). The rewrite preserves the query's value on every database — the
+// result relation may list its columns in a different order, which the
+// library's set-semantics comparisons ignore. Optimization cannot make the
+// paper's gadget queries tractable (their blow-up is inherent — that is
+// the point of the paper), but it prunes the easy fat.
+func Optimize(e Expr) (Expr, error) {
+	for {
+		rewritten, changed, err := rewrite(e)
+		if err != nil {
+			return nil, err
+		}
+		if !changed {
+			return rewritten, nil
+		}
+		e = rewritten
+	}
+}
+
+// rewrite applies one bottom-up pass of the rules.
+func rewrite(e Expr) (Expr, bool, error) {
+	switch x := e.(type) {
+	case *Operand:
+		return x, false, nil
+
+	case *Project:
+		child, changed, err := rewrite(x.Of())
+		if err != nil {
+			return nil, false, err
+		}
+		// Cascade: collapse directly nested projections.
+		if inner, ok := child.(*Project); ok {
+			merged, err := NewProject(x.Onto(), inner.Of())
+			if err != nil {
+				return nil, false, err
+			}
+			return merged, true, nil
+		}
+		// No-op: projecting a child onto its own scheme, same order.
+		if x.Onto().SameOrder(child.Scheme()) {
+			return child, true, nil
+		}
+		// Pushdown into a join.
+		if j, ok := child.(*Join); ok {
+			pushed, didPush, err := pushProjection(x.Onto(), j)
+			if err != nil {
+				return nil, false, err
+			}
+			if didPush {
+				return pushed, true, nil
+			}
+		}
+		if changed {
+			p, err := NewProject(x.Onto(), child)
+			if err != nil {
+				return nil, false, err
+			}
+			return p, true, nil
+		}
+		return x, false, nil
+
+	case *Join:
+		args := make([]Expr, 0, len(x.Args()))
+		changed := false
+		for _, a := range x.Args() {
+			ra, c, err := rewrite(a)
+			if err != nil {
+				return nil, false, err
+			}
+			changed = changed || c
+			args = append(args, ra)
+		}
+		// Idempotence: drop structurally duplicate arguments.
+		deduped := args[:0:0]
+		for _, a := range args {
+			dup := false
+			for _, kept := range deduped {
+				if Equal(a, kept) {
+					dup = true
+					break
+				}
+			}
+			if dup {
+				changed = true
+				continue
+			}
+			deduped = append(deduped, a)
+		}
+		out, err := JoinAll(deduped...)
+		if err != nil {
+			return nil, false, err
+		}
+		if changed {
+			return out, true, nil
+		}
+		return x, false, nil
+
+	default:
+		return e, false, nil
+	}
+}
+
+// pushProjection rewrites π_X(j) by narrowing each join argument to the
+// attributes it must keep: those in X plus those shared with another
+// argument (needed as join keys). It reports didPush=false when no
+// argument would actually shrink (to guarantee termination).
+func pushProjection(onto relation.Scheme, j *Join) (Expr, bool, error) {
+	args := j.Args()
+	// Count attribute occurrences across argument schemes.
+	occ := make(map[relation.Attribute]int)
+	for _, a := range args {
+		for _, attr := range a.Scheme().Attrs() {
+			occ[attr]++
+		}
+	}
+	keep := func(arg Expr) relation.Scheme {
+		var attrs []relation.Attribute
+		for _, attr := range arg.Scheme().Attrs() {
+			if onto.Has(attr) || occ[attr] >= 2 {
+				attrs = append(attrs, attr)
+			}
+		}
+		return relation.MustScheme(attrs...)
+	}
+
+	shrunk := false
+	newArgs := make([]Expr, len(args))
+	for i, a := range args {
+		n := keep(a)
+		if n.Len() == a.Scheme().Len() {
+			newArgs[i] = a
+			continue
+		}
+		p, err := NewProject(n, a)
+		if err != nil {
+			return nil, false, err
+		}
+		newArgs[i] = p
+		shrunk = true
+	}
+	if !shrunk {
+		return nil, false, nil
+	}
+	inner, err := JoinAll(newArgs...)
+	if err != nil {
+		return nil, false, err
+	}
+	outer, err := NewProject(onto, inner)
+	if err != nil {
+		return nil, false, err
+	}
+	return outer, true, nil
+}

@@ -1,0 +1,182 @@
+package algebra
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"relquery/internal/relation"
+)
+
+func optSchemes() map[string]relation.Scheme {
+	return map[string]relation.Scheme{
+		"T": relation.MustScheme("A", "B", "C", "D"),
+		"U": relation.MustScheme("C", "E"),
+	}
+}
+
+func mustParse(t *testing.T, src string) Expr {
+	t.Helper()
+	e, err := Parse(src, optSchemes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestOptimizeCascade(t *testing.T) {
+	e := mustParse(t, "pi[A](pi[A B](pi[A B C](T)))")
+	opt, err := Optimize(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := opt.String(); got != "pi[A](T)" {
+		t.Errorf("Optimize = %q, want pi[A](T)", got)
+	}
+}
+
+func TestOptimizeNoOpProjection(t *testing.T) {
+	e := mustParse(t, "pi[A B C D](T)")
+	opt, err := Optimize(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := opt.String(); got != "T" {
+		t.Errorf("Optimize = %q, want T", got)
+	}
+}
+
+func TestOptimizeJoinDeduplication(t *testing.T) {
+	e := mustParse(t, "pi[A B](T) * pi[A B](T)")
+	opt, err := Optimize(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := opt.String(); got != "pi[A B](T)" {
+		t.Errorf("Optimize = %q, want pi[A B](T)", got)
+	}
+}
+
+func TestOptimizePushdown(t *testing.T) {
+	e := mustParse(t, "pi[A E](T * U)")
+	opt, err := Optimize(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// T narrows to A and the join key C; U keeps C and E (no change: it
+	// already only has C E).
+	want := "pi[A E](pi[A C](T) * U)"
+	if got := opt.String(); got != want {
+		t.Errorf("Optimize = %q, want %q", got, want)
+	}
+}
+
+func TestOptimizePushdownStable(t *testing.T) {
+	// Optimizing an already-optimized expression changes nothing.
+	e := mustParse(t, "pi[A E](T * U)")
+	once, err := Optimize(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	twice, err := Optimize(once)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Equal(once, twice) {
+		t.Errorf("not a fixpoint: %q then %q", once, twice)
+	}
+}
+
+func TestOptimizeTargetSchemeSetPreserved(t *testing.T) {
+	srcs := []string{
+		"pi[A E](T * U)",
+		"pi[B](pi[A B](T))",
+		"T * T * U",
+		"pi[A B C D](T) * U",
+	}
+	for _, src := range srcs {
+		e := mustParse(t, src)
+		opt, err := Optimize(e)
+		if err != nil {
+			t.Fatalf("%q: %v", src, err)
+		}
+		if !opt.Scheme().Equal(e.Scheme()) {
+			t.Errorf("%q: target changed from %v to %v", src, e.Scheme(), opt.Scheme())
+		}
+	}
+}
+
+func TestQuickOptimizePreservesSemantics(t *testing.T) {
+	srcs := []string{
+		"pi[A E](T * U)",
+		"pi[A](pi[A B](pi[A B C](T)))",
+		"pi[A B](T) * pi[B C](T) * pi[A B](T)",
+		"pi[A D](pi[A B](T) * pi[B C](T) * pi[C D](T))",
+		"pi[E](T * U)",
+		"T * U",
+		"pi[A C E](pi[A B C D](T) * U * pi[C](U))",
+	}
+	f := func(seed int64, pick uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		src := srcs[int(pick)%len(srcs)]
+		e, err := Parse(src, optSchemes())
+		if err != nil {
+			return false
+		}
+		opt, err := Optimize(e)
+		if err != nil {
+			return false
+		}
+		db := relation.NewDatabase()
+		alphabet := []string{"0", "1", "e"}
+		for name, scheme := range optSchemes() {
+			r := relation.New(scheme)
+			for i, n := 0, rng.Intn(10); i < n; i++ {
+				tp := make(relation.Tuple, scheme.Len())
+				for j := range tp {
+					tp[j] = relation.Value(alphabet[rng.Intn(3)])
+				}
+				r.MustAdd(tp)
+			}
+			db.Put(name, r)
+		}
+		before, err := Eval(e, db)
+		if err != nil {
+			return false
+		}
+		after, err := Eval(opt, db)
+		if err != nil {
+			return false
+		}
+		return before.Equal(after)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 250}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOptimizeShrinksGadgetIntermediates(t *testing.T) {
+	// On a wide relation, pushdown must reduce the join argument widths.
+	e := mustParse(t, "pi[A](T * U)")
+	opt, err := Optimize(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Size(opt) <= Size(e) && opt.String() == e.String() {
+		t.Errorf("no rewrite applied: %q", opt)
+	}
+	// The join arguments must now be projections narrower than T.
+	p, ok := opt.(*Project)
+	if !ok {
+		t.Fatalf("optimized root = %T", opt)
+	}
+	j, ok := p.Of().(*Join)
+	if !ok {
+		t.Fatalf("optimized child = %T", p.Of())
+	}
+	for _, a := range j.Args() {
+		if a.Scheme().Len() >= 4 {
+			t.Errorf("argument not narrowed: %v", a)
+		}
+	}
+}

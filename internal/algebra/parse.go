@@ -1,0 +1,231 @@
+package algebra
+
+import (
+	"fmt"
+	"strings"
+
+	"relquery/internal/relation"
+)
+
+// The expression text syntax:
+//
+//	expr := term ( '*' term )*
+//	term := ('pi' | 'project') '[' attr* ']' '(' expr ')'
+//	      | '(' expr ')'
+//	      | operand-name
+//
+// Attribute names and operand names are runs of characters other than
+// whitespace and the delimiters []()*. The parser resolves operand names
+// against a caller-supplied scheme map, so Y{1,2}-style attributes parse
+// unquoted.
+
+type tokenKind int
+
+const (
+	tokName tokenKind = iota
+	tokStar
+	tokLBracket
+	tokRBracket
+	tokLParen
+	tokRParen
+	tokEOF
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	pos  int
+}
+
+func (t token) describe() string {
+	switch t.kind {
+	case tokEOF:
+		return "end of input"
+	default:
+		return fmt.Sprintf("%q", t.text)
+	}
+}
+
+func lex(src string) ([]token, error) {
+	var toks []token
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '*':
+			toks = append(toks, token{tokStar, "*", i})
+			i++
+		case c == '[':
+			toks = append(toks, token{tokLBracket, "[", i})
+			i++
+		case c == ']':
+			toks = append(toks, token{tokRBracket, "]", i})
+			i++
+		case c == '(':
+			toks = append(toks, token{tokLParen, "(", i})
+			i++
+		case c == ')':
+			toks = append(toks, token{tokRParen, ")", i})
+			i++
+		default:
+			start := i
+			for i < len(src) && !strings.ContainsRune(" \t\n\r*[]()", rune(src[i])) {
+				i++
+			}
+			toks = append(toks, token{tokName, src[start:i], start})
+		}
+	}
+	toks = append(toks, token{tokEOF, "", len(src)})
+	return toks, nil
+}
+
+type parser struct {
+	toks    []token
+	i       int
+	schemes map[string]relation.Scheme
+}
+
+func (p *parser) peek() token { return p.toks[p.i] }
+
+func (p *parser) next() token {
+	t := p.toks[p.i]
+	if t.kind != tokEOF {
+		p.i++
+	}
+	return t
+}
+
+func (p *parser) expect(kind tokenKind, what string) (token, error) {
+	t := p.next()
+	if t.kind != kind {
+		return token{}, fmt.Errorf("algebra: parse error at offset %d: expected %s, got %s", t.pos, what, t.describe())
+	}
+	return t, nil
+}
+
+func (p *parser) parseExpr() (Expr, error) {
+	first, err := p.parseTerm()
+	if err != nil {
+		return nil, err
+	}
+	args := []Expr{first}
+	for p.peek().kind == tokStar {
+		p.next()
+		t, err := p.parseTerm()
+		if err != nil {
+			return nil, err
+		}
+		args = append(args, t)
+	}
+	return JoinAll(args...)
+}
+
+func (p *parser) parseTerm() (Expr, error) {
+	t := p.next()
+	switch t.kind {
+	case tokLParen:
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokRParen, "')'"); err != nil {
+			return nil, err
+		}
+		return e, nil
+
+	case tokName:
+		// "pi"/"project" are keywords only when followed by '[', so a
+		// relation that happens to be named pi still parses as an operand.
+		if (t.text == "pi" || t.text == "project") && p.peek().kind == tokLBracket {
+			return p.parseProjection(t)
+		}
+		scheme, ok := p.schemes[t.text]
+		if !ok {
+			return nil, fmt.Errorf("algebra: parse error at offset %d: unknown operand %q (known: %s)",
+				t.pos, t.text, knownNames(p.schemes))
+		}
+		return NewOperand(t.text, scheme)
+
+	default:
+		return nil, fmt.Errorf("algebra: parse error at offset %d: expected expression, got %s", t.pos, t.describe())
+	}
+}
+
+func (p *parser) parseProjection(kw token) (Expr, error) {
+	if _, err := p.expect(tokLBracket, "'[' after "+kw.text); err != nil {
+		return nil, err
+	}
+	var attrs []relation.Attribute
+	for p.peek().kind == tokName {
+		attrs = append(attrs, relation.Attribute(p.next().text))
+	}
+	if _, err := p.expect(tokRBracket, "']' closing attribute list"); err != nil {
+		return nil, err
+	}
+	onto, err := relation.NewScheme(attrs...)
+	if err != nil {
+		return nil, fmt.Errorf("algebra: parse error at offset %d: %v", kw.pos, err)
+	}
+	if _, err := p.expect(tokLParen, "'(' after projection list"); err != nil {
+		return nil, err
+	}
+	of, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokRParen, "')' closing projection"); err != nil {
+		return nil, err
+	}
+	proj, err := NewProject(onto, of)
+	if err != nil {
+		return nil, fmt.Errorf("algebra: parse error at offset %d: %v", kw.pos, err)
+	}
+	return proj, nil
+}
+
+func knownNames(schemes map[string]relation.Scheme) string {
+	if len(schemes) == 0 {
+		return "none"
+	}
+	names := make([]string, 0, len(schemes))
+	for n := range schemes {
+		names = append(names, n)
+	}
+	// Deterministic error messages.
+	for i := 1; i < len(names); i++ {
+		for j := i; j > 0 && names[j] < names[j-1]; j-- {
+			names[j], names[j-1] = names[j-1], names[j]
+		}
+	}
+	return strings.Join(names, ", ")
+}
+
+// Parse parses an expression in the package's text syntax, resolving
+// operand names against the given schemes.
+func Parse(src string, schemes map[string]relation.Scheme) (Expr, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks, schemes: schemes}
+	e, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if t := p.peek(); t.kind != tokEOF {
+		return nil, fmt.Errorf("algebra: parse error at offset %d: unexpected %s after expression", t.pos, t.describe())
+	}
+	return e, nil
+}
+
+// ParseForDatabase parses an expression whose operand schemes come from
+// the relations of db.
+func ParseForDatabase(src string, db relation.Database) (Expr, error) {
+	schemes := make(map[string]relation.Scheme, len(db))
+	for name, r := range db {
+		schemes[name] = r.Scheme()
+	}
+	return Parse(src, schemes)
+}

@@ -1,0 +1,191 @@
+package algebra
+
+import (
+	"strings"
+	"testing"
+
+	"relquery/internal/relation"
+)
+
+func testSchemes() map[string]relation.Scheme {
+	return map[string]relation.Scheme{
+		"T":  relation.MustScheme("A", "B", "C"),
+		"U":  relation.MustScheme("C", "D"),
+		"pi": relation.MustScheme("P"),
+	}
+}
+
+func TestParseOperand(t *testing.T) {
+	e, err := Parse("T", testSchemes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	o, ok := e.(*Operand)
+	if !ok || o.Name() != "T" {
+		t.Fatalf("parsed %T %v", e, e)
+	}
+}
+
+func TestParseProjection(t *testing.T) {
+	e, err := Parse("pi[A C](T)", testSchemes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, ok := e.(*Project)
+	if !ok {
+		t.Fatalf("parsed %T", e)
+	}
+	if p.Onto().String() != "A C" {
+		t.Errorf("onto = %v", p.Onto())
+	}
+	// "project" keyword is an alias.
+	e2, err := Parse("project[A C](T)", testSchemes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Equal(e, e2) {
+		t.Error("pi and project parse differently")
+	}
+}
+
+func TestParseJoinChain(t *testing.T) {
+	e, err := Parse("pi[A B](T) * pi[B C](T) * U", testSchemes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, ok := e.(*Join)
+	if !ok || len(j.Args()) != 3 {
+		t.Fatalf("parsed %T with %d args", e, len(j.Args()))
+	}
+	if got := j.Scheme().String(); got != "A B C D" {
+		t.Errorf("scheme = %q", got)
+	}
+}
+
+func TestParseParentheses(t *testing.T) {
+	e, err := Parse("(T * U)", testSchemes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := e.(*Join); !ok {
+		t.Fatalf("parsed %T", e)
+	}
+	// Projection of a parenthesized join.
+	e2, err := Parse("pi[A D](T * U)", testSchemes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := e2.Scheme().String(); got != "A D" {
+		t.Errorf("scheme = %q", got)
+	}
+}
+
+func TestParseSubscriptedAttributes(t *testing.T) {
+	schemes := map[string]relation.Scheme{
+		"T": relation.MustScheme("F1", "X1", "Y{1,2}", "S"),
+	}
+	e, err := Parse("pi[F1 Y{1,2} S](T)", schemes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := e.Scheme().String(); got != "F1 Y{1,2} S" {
+		t.Errorf("scheme = %q", got)
+	}
+}
+
+func TestParsePiAsOperandName(t *testing.T) {
+	// "pi" not followed by '[' is an ordinary operand name.
+	e, err := Parse("pi * T", testSchemes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, ok := e.(*Join)
+	if !ok {
+		t.Fatalf("parsed %T", e)
+	}
+	if o, ok := j.Args()[0].(*Operand); !ok || o.Name() != "pi" {
+		t.Errorf("first arg = %v", j.Args()[0])
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name, src string
+		wantMsg   string
+	}{
+		{"unknown operand", "Z", "unknown operand"},
+		{"trailing junk", "T T", "unexpected"},
+		{"dangling star", "T *", "expected expression"},
+		{"unclosed paren", "(T", "')'"},
+		{"unclosed bracket", "pi[A(T)", "']'"},
+		{"missing paren after pi", "pi[A] T", "'('"},
+		{"empty input", "", "expected expression"},
+		{"foreign projection attr", "pi[Z](T)", "not in target scheme"},
+		{"duplicate projection attr", "pi[A A](T)", "duplicate"},
+	}
+	for _, tc := range cases {
+		_, err := Parse(tc.src, testSchemes())
+		if err == nil {
+			t.Errorf("%s: no error", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.wantMsg) {
+			t.Errorf("%s: err = %v, want mention of %q", tc.name, err, tc.wantMsg)
+		}
+	}
+}
+
+func TestParseStringRoundTrip(t *testing.T) {
+	srcs := []string{
+		"T",
+		"pi[A B](T)",
+		"pi[A B](T) * pi[B C](T)",
+		"pi[A](pi[A B](T) * pi[B C](T) * U)",
+		"T * U * pi[C](T)",
+	}
+	for _, src := range srcs {
+		e, err := Parse(src, testSchemes())
+		if err != nil {
+			t.Errorf("%q: %v", src, err)
+			continue
+		}
+		back, err := Parse(e.String(), testSchemes())
+		if err != nil {
+			t.Errorf("%q: reparse of %q: %v", src, e.String(), err)
+			continue
+		}
+		if !Equal(e, back) {
+			t.Errorf("%q: round trip changed expression: %q", src, back.String())
+		}
+	}
+}
+
+func TestParseForDatabase(t *testing.T) {
+	db := relation.NewDatabase()
+	s := relation.MustScheme("A", "B")
+	db.Put("R", relation.New(s))
+	e, err := ParseForDatabase("pi[A](R)", db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := e.Scheme().String(); got != "A" {
+		t.Errorf("scheme = %q", got)
+	}
+}
+
+func TestParseEvalIntegration(t *testing.T) {
+	db := relation.NewDatabase()
+	r := mkrel(t, "A B C", "1 x p", "2 x q")
+	db.Put("T", r)
+	e, err := ParseForDatabase("pi[A](pi[A B](T) * pi[B C](T))", db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Eval(e, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(mkrel(t, "A", "1", "2")) {
+		t.Errorf("Eval = %v", got.Sorted())
+	}
+}

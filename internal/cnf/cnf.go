@@ -1,0 +1,347 @@
+// Package cnf implements propositional formulas in conjunctive normal
+// form, with the 3CNF specialization used by Cosmadakis (1983): every
+// clause has exactly three literals over three distinct variables, and a
+// formula has at least three clauses (the paper's standing assumptions for
+// the R_G construction).
+//
+// The package provides literals, clauses, formulas, truth assignments,
+// evaluation, DIMACS and human-readable parsing and printing, random
+// instance generation (including planted-satisfiable and provably
+// unsatisfiable families), satisfiability-preserving padding (used by
+// Theorem 2), and conversion of arbitrary CNF to 3CNF.
+package cnf
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Lit is a literal: +v is the variable x_v, -v is its negation ¬x_v.
+// Variables are numbered from 1 (DIMACS convention). The zero Lit is
+// invalid.
+type Lit int
+
+// Var returns the literal's variable index (always positive).
+func (l Lit) Var() int {
+	if l < 0 {
+		return int(-l)
+	}
+	return int(l)
+}
+
+// Pos reports whether the literal is positive.
+func (l Lit) Pos() bool { return l > 0 }
+
+// Neg returns the complementary literal.
+func (l Lit) Neg() Lit { return -l }
+
+// Sat reports whether the literal is true when its variable has the given
+// value.
+func (l Lit) Sat(value bool) bool { return l.Pos() == value }
+
+// String renders the literal as "x3" or "~x3".
+func (l Lit) String() string {
+	if l < 0 {
+		return fmt.Sprintf("~x%d", -l)
+	}
+	return fmt.Sprintf("x%d", int(l))
+}
+
+// Clause is a disjunction of literals.
+type Clause []Lit
+
+// Vars returns the distinct variables of the clause in order of first
+// occurrence.
+func (c Clause) Vars() []int {
+	seen := make(map[int]bool, len(c))
+	var out []int
+	for _, l := range c {
+		if !seen[l.Var()] {
+			seen[l.Var()] = true
+			out = append(out, l.Var())
+		}
+	}
+	return out
+}
+
+// DistinctVars reports whether the clause's literals are over pairwise
+// distinct variables — one of the paper's standing assumptions.
+func (c Clause) DistinctVars() bool { return len(c.Vars()) == len(c) }
+
+// Tautological reports whether the clause contains a literal and its
+// negation (and is therefore satisfied by every assignment).
+func (c Clause) Tautological() bool {
+	seen := make(map[Lit]bool, len(c))
+	for _, l := range c {
+		if seen[l.Neg()] {
+			return true
+		}
+		seen[l] = true
+	}
+	return false
+}
+
+// Eval reports whether the assignment satisfies the clause.
+func (c Clause) Eval(a Assignment) bool {
+	for _, l := range c {
+		if l.Sat(a.Value(l.Var())) {
+			return true
+		}
+	}
+	return false
+}
+
+// Clone returns an independent copy.
+func (c Clause) Clone() Clause {
+	out := make(Clause, len(c))
+	copy(out, c)
+	return out
+}
+
+// String renders the clause as "(x1 + ~x2 + x3)".
+func (c Clause) String() string {
+	var b strings.Builder
+	b.WriteByte('(')
+	for i, l := range c {
+		if i > 0 {
+			b.WriteString(" + ")
+		}
+		b.WriteString(l.String())
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+// Formula is a conjunction of clauses over variables 1..NumVars.
+type Formula struct {
+	// NumVars is the number of variables; every literal's variable must be
+	// in 1..NumVars. Variables need not all occur.
+	NumVars int
+	// Clauses is the conjunction, in order.
+	Clauses []Clause
+}
+
+// New builds a formula, validating that every literal's variable is in
+// range.
+func New(numVars int, clauses ...Clause) (*Formula, error) {
+	if numVars < 0 {
+		return nil, fmt.Errorf("cnf: negative variable count %d", numVars)
+	}
+	f := &Formula{NumVars: numVars, Clauses: make([]Clause, len(clauses))}
+	for i, c := range clauses {
+		for _, l := range c {
+			if l == 0 {
+				return nil, fmt.Errorf("cnf: clause %d contains the zero literal", i+1)
+			}
+			if l.Var() > numVars {
+				return nil, fmt.Errorf("cnf: clause %d literal %v exceeds variable count %d", i+1, l, numVars)
+			}
+		}
+		f.Clauses[i] = c.Clone()
+	}
+	return f, nil
+}
+
+// MustNew is New for statically known formulas; it panics on error.
+func MustNew(numVars int, clauses ...Clause) *Formula {
+	f, err := New(numVars, clauses...)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+// C builds a clause from literal values, a convenience for tests and
+// examples: C(1, -2, 3) is (x1 + ~x2 + x3).
+func C(lits ...int) Clause {
+	c := make(Clause, len(lits))
+	for i, l := range lits {
+		c[i] = Lit(l)
+	}
+	return c
+}
+
+// NumClauses returns the paper's m.
+func (f *Formula) NumClauses() int { return len(f.Clauses) }
+
+// Eval reports whether the assignment satisfies every clause.
+func (f *Formula) Eval(a Assignment) bool {
+	for _, c := range f.Clauses {
+		if !c.Eval(a) {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns an independent copy of the formula.
+func (f *Formula) Clone() *Formula {
+	out := &Formula{NumVars: f.NumVars, Clauses: make([]Clause, len(f.Clauses))}
+	for i, c := range f.Clauses {
+		out.Clauses[i] = c.Clone()
+	}
+	return out
+}
+
+// Is3CNF reports whether every clause has exactly three literals over
+// three distinct variables.
+func (f *Formula) Is3CNF() bool {
+	for _, c := range f.Clauses {
+		if len(c) != 3 || !c.DistinctVars() {
+			return false
+		}
+	}
+	return true
+}
+
+// CheckReductionForm validates the paper's standing assumptions for the
+// R_G construction: the formula is in 3CNF with at least three clauses and
+// distinct variables within each clause.
+func (f *Formula) CheckReductionForm() error {
+	if len(f.Clauses) < 3 {
+		return fmt.Errorf("cnf: reduction requires at least 3 clauses, have %d", len(f.Clauses))
+	}
+	for i, c := range f.Clauses {
+		if len(c) != 3 {
+			return fmt.Errorf("cnf: clause %d has %d literals, want 3", i+1, len(c))
+		}
+		if !c.DistinctVars() {
+			return fmt.Errorf("cnf: clause %d %v repeats a variable", i+1, c)
+		}
+	}
+	return nil
+}
+
+// UsedVars returns the sorted list of variables that actually occur.
+func (f *Formula) UsedVars() []int {
+	seen := make(map[int]bool)
+	for _, c := range f.Clauses {
+		for _, l := range c {
+			seen[l.Var()] = true
+		}
+	}
+	out := make([]int, 0, len(seen))
+	for v := range seen {
+		out = append(out, v)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// String renders the formula as a product of clauses,
+// "(x1 + x2 + x3)(~x2 + x3 + ~x4)".
+func (f *Formula) String() string {
+	if len(f.Clauses) == 0 {
+		return "(true)"
+	}
+	var b strings.Builder
+	for _, c := range f.Clauses {
+		b.WriteString(c.String())
+	}
+	return b.String()
+}
+
+// Assignment is a truth assignment to variables 1..n: Value(v) is the
+// value of x_v.
+type Assignment []bool
+
+// NewAssignment returns the all-false assignment over n variables.
+func NewAssignment(n int) Assignment { return make(Assignment, n) }
+
+// Value returns the value of variable v (1-indexed).
+func (a Assignment) Value(v int) bool { return a[v-1] }
+
+// Set sets the value of variable v (1-indexed).
+func (a Assignment) Set(v int, value bool) { a[v-1] = value }
+
+// Clone returns an independent copy.
+func (a Assignment) Clone() Assignment {
+	out := make(Assignment, len(a))
+	copy(out, a)
+	return out
+}
+
+// FromBits fills the assignment from the low bits of mask: variable v gets
+// bit v-1. Useful for exhaustive enumeration over ≤ 63 variables.
+func (a Assignment) FromBits(mask uint64) {
+	for v := 1; v <= len(a); v++ {
+		a[v-1] = mask&(1<<(v-1)) != 0
+	}
+}
+
+// String renders the assignment as a 0/1 string, variable 1 first.
+func (a Assignment) String() string {
+	b := make([]byte, len(a))
+	for i, v := range a {
+		if v {
+			b[i] = '1'
+		} else {
+			b[i] = '0'
+		}
+	}
+	return string(b)
+}
+
+// LocalAssignment is a truth assignment to the three variables of one
+// 3CNF clause, aligned with the clause's literal order: Values[i] is the
+// value of the variable of literal i. It is the paper's h_jk (satisfying)
+// or ξ_j's assignment h_j (falsifying).
+type LocalAssignment struct {
+	Vars   [3]int
+	Values [3]bool
+}
+
+// SatisfyingLocal returns the seven local assignments that satisfy the
+// 3-literal clause c, in increasing order of the bit pattern
+// (Values[0]<<2 | Values[1]<<1 | Values[2]). The clause must have three
+// literals over distinct variables.
+func SatisfyingLocal(c Clause) ([]LocalAssignment, error) {
+	all, falsifier, err := localAssignments(c)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]LocalAssignment, 0, 7)
+	for i, a := range all {
+		if i != falsifier {
+			out = append(out, a)
+		}
+	}
+	return out, nil
+}
+
+// FalsifyingLocal returns the unique local assignment that falsifies the
+// 3-literal clause c: every literal evaluates false.
+func FalsifyingLocal(c Clause) (LocalAssignment, error) {
+	all, falsifier, err := localAssignments(c)
+	if err != nil {
+		return LocalAssignment{}, err
+	}
+	return all[falsifier], nil
+}
+
+func localAssignments(c Clause) (all [8]LocalAssignment, falsifier int, err error) {
+	if len(c) != 3 {
+		return all, 0, fmt.Errorf("cnf: clause %v has %d literals, want 3", c, len(c))
+	}
+	if !c.DistinctVars() {
+		return all, 0, fmt.Errorf("cnf: clause %v repeats a variable", c)
+	}
+	vars := [3]int{c[0].Var(), c[1].Var(), c[2].Var()}
+	for bits := 0; bits < 8; bits++ {
+		la := LocalAssignment{Vars: vars}
+		sat := false
+		for i := 0; i < 3; i++ {
+			val := bits&(1<<(2-i)) != 0
+			la.Values[i] = val
+			if c[i].Sat(val) {
+				sat = true
+			}
+		}
+		all[bits] = la
+		if !sat {
+			falsifier = bits
+		}
+	}
+	return all, falsifier, nil
+}

@@ -1,0 +1,239 @@
+package cnf
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLitBasics(t *testing.T) {
+	l := Lit(3)
+	if l.Var() != 3 || !l.Pos() || l.Neg() != Lit(-3) {
+		t.Errorf("Lit(3): var=%d pos=%v neg=%v", l.Var(), l.Pos(), l.Neg())
+	}
+	n := Lit(-7)
+	if n.Var() != 7 || n.Pos() {
+		t.Errorf("Lit(-7): var=%d pos=%v", n.Var(), n.Pos())
+	}
+	if !l.Sat(true) || l.Sat(false) {
+		t.Error("positive literal satisfaction wrong")
+	}
+	if n.Sat(true) || !n.Sat(false) {
+		t.Error("negative literal satisfaction wrong")
+	}
+	if l.String() != "x3" || n.String() != "~x7" {
+		t.Errorf("String: %q %q", l.String(), n.String())
+	}
+}
+
+func TestClauseBasics(t *testing.T) {
+	c := C(1, -2, 3)
+	if got := c.String(); got != "(x1 + ~x2 + x3)" {
+		t.Errorf("String = %q", got)
+	}
+	if !c.DistinctVars() {
+		t.Error("DistinctVars = false")
+	}
+	if C(1, -1, 2).DistinctVars() {
+		t.Error("DistinctVars true for repeated variable")
+	}
+	if !C(1, -1, 2).Tautological() {
+		t.Error("Tautological = false for x1 + ~x1")
+	}
+	if C(1, 1, 2).Tautological() {
+		t.Error("Tautological = true for duplicate literal")
+	}
+	vars := C(2, -5, 2).Vars()
+	if len(vars) != 2 || vars[0] != 2 || vars[1] != 5 {
+		t.Errorf("Vars = %v", vars)
+	}
+}
+
+func TestClauseEval(t *testing.T) {
+	c := C(1, -2, 3)
+	a := NewAssignment(3)
+	// 000: x1=0 (false), ~x2 true -> satisfied.
+	if !c.Eval(a) {
+		t.Error("000 should satisfy (x1 + ~x2 + x3)")
+	}
+	a.Set(2, true) // 010: x1 false, ~x2 false, x3 false -> falsified.
+	if c.Eval(a) {
+		t.Error("010 should falsify (x1 + ~x2 + x3)")
+	}
+	a.Set(3, true)
+	if !c.Eval(a) {
+		t.Error("011 should satisfy")
+	}
+}
+
+func TestFormulaEvalAndValidation(t *testing.T) {
+	f := MustNew(4, C(1, 2, 3), C(-1, -2, 4))
+	a := NewAssignment(4)
+	a.Set(3, true)
+	a.Set(4, true)
+	if !f.Eval(a) {
+		t.Error("0011 should satisfy")
+	}
+	a2 := NewAssignment(4)
+	if f.Eval(a2) {
+		t.Error("0000 should falsify first clause")
+	}
+	if _, err := New(2, C(1, 2, 3)); err == nil {
+		t.Error("out-of-range variable accepted")
+	}
+	if _, err := New(-1); err == nil {
+		t.Error("negative NumVars accepted")
+	}
+	if _, err := New(2, C(1, 0, 2)); err == nil {
+		t.Error("zero literal accepted")
+	}
+}
+
+func TestCheckReductionForm(t *testing.T) {
+	good := MustNew(5, C(1, 2, 3), C(-2, 3, -4), C(-3, -4, -5))
+	if err := good.CheckReductionForm(); err != nil {
+		t.Errorf("paper example rejected: %v", err)
+	}
+	if err := MustNew(3, C(1, 2, 3)).CheckReductionForm(); err == nil {
+		t.Error("2-clause shortfall accepted")
+	}
+	bad := MustNew(3, C(1, 2, 3), C(1, 2, 3), C(1, 2))
+	if err := bad.CheckReductionForm(); err == nil {
+		t.Error("2-literal clause accepted")
+	}
+	rep := MustNew(3, C(1, 2, 3), C(1, 2, 3), C(1, 1, 2))
+	if err := rep.CheckReductionForm(); err == nil {
+		t.Error("repeated-variable clause accepted")
+	}
+}
+
+func TestAssignmentBits(t *testing.T) {
+	a := NewAssignment(4)
+	a.FromBits(0b1010)
+	if a.Value(1) || !a.Value(2) || a.Value(3) || !a.Value(4) {
+		t.Errorf("FromBits wrong: %v", a)
+	}
+	if a.String() != "0101" {
+		t.Errorf("String = %q", a.String())
+	}
+	b := a.Clone()
+	b.Set(1, true)
+	if a.Value(1) {
+		t.Error("Clone not independent")
+	}
+}
+
+func TestSatisfyingLocal(t *testing.T) {
+	c := C(1, -2, 3)
+	sats, err := SatisfyingLocal(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sats) != 7 {
+		t.Fatalf("got %d satisfiers, want 7", len(sats))
+	}
+	fals, err := FalsifyingLocal(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The falsifier of (x1 + ~x2 + x3) is x1=0, x2=1, x3=0.
+	if fals.Values != [3]bool{false, true, false} {
+		t.Errorf("falsifier = %v", fals.Values)
+	}
+	if fals.Vars != [3]int{1, 2, 3} {
+		t.Errorf("falsifier vars = %v", fals.Vars)
+	}
+	// Every satisfying local assignment actually satisfies the clause; the
+	// falsifier doesn't; together they are all 8.
+	seen := map[[3]bool]bool{fals.Values: true}
+	for _, la := range sats {
+		a := NewAssignment(3)
+		for i, v := range la.Vars {
+			a.Set(v, la.Values[i])
+		}
+		if !c.Eval(a) {
+			t.Errorf("local assignment %v does not satisfy %v", la.Values, c)
+		}
+		if seen[la.Values] {
+			t.Errorf("duplicate local assignment %v", la.Values)
+		}
+		seen[la.Values] = true
+	}
+	if len(seen) != 8 {
+		t.Errorf("assignments cover %d patterns, want 8", len(seen))
+	}
+	// Errors on malformed clauses.
+	if _, err := SatisfyingLocal(C(1, 2)); err == nil {
+		t.Error("2-literal clause accepted")
+	}
+	if _, err := FalsifyingLocal(C(1, 1, 2)); err == nil {
+		t.Error("repeated-variable clause accepted")
+	}
+}
+
+func TestSatisfyingLocalOrdering(t *testing.T) {
+	// The paper's example lists clause F1 = (x1+x2+x3) satisfiers in the
+	// order 001, 010, 011, 100, 101, 110, 111 (falsifier 000 omitted).
+	sats, err := SatisfyingLocal(C(1, 2, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][3]bool{
+		{false, false, true},
+		{false, true, false},
+		{false, true, true},
+		{true, false, false},
+		{true, false, true},
+		{true, true, false},
+		{true, true, true},
+	}
+	for i, la := range sats {
+		if la.Values != want[i] {
+			t.Errorf("satisfier %d = %v, want %v", i, la.Values, want[i])
+		}
+	}
+}
+
+func TestFormulaString(t *testing.T) {
+	f := PaperExample()
+	want := "(x1 + x2 + x3)(~x2 + x3 + ~x4)(~x3 + ~x4 + ~x5)"
+	if got := f.String(); got != want {
+		t.Errorf("String = %q, want %q", got, want)
+	}
+	empty := MustNew(0)
+	if empty.String() != "(true)" {
+		t.Errorf("empty String = %q", empty.String())
+	}
+}
+
+func TestUsedVars(t *testing.T) {
+	f := MustNew(10, C(5, -2, 9))
+	got := f.UsedVars()
+	if len(got) != 3 || got[0] != 2 || got[1] != 5 || got[2] != 9 {
+		t.Errorf("UsedVars = %v", got)
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	f := PaperExample()
+	g := f.Clone()
+	g.Clauses[0][0] = Lit(-1)
+	if f.Clauses[0][0] != Lit(1) {
+		t.Error("Clone shares clause storage")
+	}
+}
+
+func TestPaperExampleShape(t *testing.T) {
+	f := PaperExample()
+	if f.NumVars != 5 || f.NumClauses() != 3 {
+		t.Fatalf("n=%d m=%d", f.NumVars, f.NumClauses())
+	}
+	if err := f.CheckReductionForm(); err != nil {
+		t.Fatal(err)
+	}
+	if !f.Is3CNF() {
+		t.Error("Is3CNF = false")
+	}
+	if !strings.Contains(f.String(), "~x5") {
+		t.Errorf("String = %q", f.String())
+	}
+}

@@ -1,0 +1,89 @@
+package cnf
+
+import "fmt"
+
+// Structured formula families used by the benchmark harness: classic
+// instances with known satisfiability and known model counts, so
+// experiment tables can state expectations instead of sampling.
+
+// Pigeonhole returns PHP(holes): "holes+1 pigeons into `holes` holes",
+// the canonical provably-hard unsatisfiable family for resolution-based
+// solvers. Variable x_{p,h} (encoded as (p−1)·holes + h) says pigeon p
+// sits in hole h. The raw encoding has clauses of width `holes` and 2, so
+// the result is converted to the paper's 3CNF reduction form via To3CNF.
+func Pigeonhole(holes int) (*Formula, error) {
+	if holes < 1 {
+		return nil, fmt.Errorf("cnf: pigeonhole needs at least 1 hole, got %d", holes)
+	}
+	pigeons := holes + 1
+	v := func(p, h int) Lit { // 1-indexed pigeon and hole
+		return Lit((p-1)*holes + h)
+	}
+	raw := &Formula{NumVars: pigeons * holes}
+	// Every pigeon sits somewhere.
+	for p := 1; p <= pigeons; p++ {
+		clause := make(Clause, holes)
+		for h := 1; h <= holes; h++ {
+			clause[h-1] = v(p, h)
+		}
+		raw.Clauses = append(raw.Clauses, clause)
+	}
+	// No two pigeons share a hole.
+	for h := 1; h <= holes; h++ {
+		for p1 := 1; p1 <= pigeons; p1++ {
+			for p2 := p1 + 1; p2 <= pigeons; p2++ {
+				raw.Clauses = append(raw.Clauses, Clause{v(p1, h).Neg(), v(p2, h).Neg()})
+			}
+		}
+	}
+	out, err := To3CNF(raw)
+	if err != nil {
+		return nil, err
+	}
+	return EnsureMinClauses(out, 3)
+}
+
+// XorChain returns the 3CNF encoding of the parity chain
+//
+//	x₁ ⊕ x₂ ⊕ … ⊕ x_n = parity
+//
+// via the direct per-triple expansion: each constraint x_i ⊕ x_{i+1} = y_i
+// over chain variables. The formula is satisfiable for either parity and
+// has exactly 2^(n−1) models distributed over the chain's degrees of
+// freedom — a family where component-free DPLL counting must branch.
+// Concretely it emits, for each i, the four 3-literal clauses encoding
+// z_{i+1} = z_i ⊕ x_{i+1} over carry variables z, pinning z₁ = x₁ and the
+// final carry to the requested parity with padded unit clauses.
+func XorChain(n int, parity bool) (*Formula, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("cnf: xor chain needs at least 2 variables, got %d", n)
+	}
+	// Variables: x_1..x_n are 1..n; carries z_2..z_n are n+1..2n-1, with
+	// z_i holding x_1 ⊕ … ⊕ x_i (z_1 is x_1 itself).
+	raw := &Formula{NumVars: 2*n - 1}
+	z := func(i int) Lit { // z_i for i ≥ 2
+		return Lit(n + i - 1)
+	}
+	prev := Lit(1) // z_1 = x_1
+	for i := 2; i <= n; i++ {
+		xi, zi := Lit(i), z(i)
+		// zi = prev ⊕ xi, as four clauses.
+		raw.Clauses = append(raw.Clauses,
+			Clause{prev.Neg(), xi.Neg(), zi.Neg()},
+			Clause{prev.Neg(), xi, zi},
+			Clause{prev, xi.Neg(), zi},
+			Clause{prev, xi, zi.Neg()},
+		)
+		prev = zi
+	}
+	final := prev
+	if !parity {
+		final = final.Neg()
+	}
+	raw.Clauses = append(raw.Clauses, Clause{final})
+	out, err := To3CNF(raw)
+	if err != nil {
+		return nil, err
+	}
+	return EnsureMinClauses(out, 3)
+}

@@ -1,0 +1,76 @@
+package cnf
+
+import (
+	"testing"
+)
+
+func TestPigeonholeShapeAndUnsat(t *testing.T) {
+	for holes := 1; holes <= 3; holes++ {
+		f, err := Pigeonhole(holes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := f.CheckReductionForm(); err != nil {
+			t.Errorf("PHP(%d) not in reduction form: %v", holes, err)
+		}
+		if f.NumVars <= 20 {
+			if bruteSat(f) {
+				t.Errorf("PHP(%d) reported satisfiable", holes)
+			}
+		}
+	}
+	if _, err := Pigeonhole(0); err == nil {
+		t.Error("PHP(0) accepted")
+	}
+}
+
+func TestXorChainModels(t *testing.T) {
+	for n := 2; n <= 5; n++ {
+		for _, parity := range []bool{false, true} {
+			f, err := XorChain(n, parity)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := f.CheckReductionForm(); err != nil {
+				t.Errorf("XorChain(%d,%v) not in reduction form: %v", n, parity, err)
+			}
+			if !bruteSat(f) {
+				t.Errorf("XorChain(%d,%v) unsatisfiable", n, parity)
+				continue
+			}
+			// Model count: the x variables have 2^(n-1) solutions with the
+			// requested parity; carries are determined; To3CNF may add
+			// fresh variables whose values are forced or free — count via
+			// projection: check only that every model has the right x
+			// parity.
+			count := 0
+			a := NewAssignment(f.NumVars)
+			for mask := uint64(0); mask < 1<<uint(f.NumVars) && f.NumVars <= 20; mask++ {
+				a.FromBits(mask)
+				if !f.Eval(a) {
+					continue
+				}
+				count++
+				p := false
+				for v := 1; v <= n; v++ {
+					if a.Value(v) {
+						p = !p
+					}
+				}
+				if p != parity {
+					t.Fatalf("XorChain(%d,%v): model %v has wrong parity", n, parity, a)
+				}
+			}
+			// 2^(n−1) x-assignments with the right parity; carries are
+			// determined; the single converted unit clause contributes two
+			// fresh variables that are free in every model (×4).
+			want := 4 << uint(n-1)
+			if f.NumVars <= 20 && count != want {
+				t.Errorf("XorChain(%d,%v): %d models, want %d", n, parity, count, want)
+			}
+		}
+	}
+	if _, err := XorChain(1, true); err == nil {
+		t.Error("XorChain(1) accepted")
+	}
+}

@@ -1,0 +1,71 @@
+package cnf
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzParse checks that the clause-syntax parser never panics and that
+// accepted formulas round-trip through String.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"(x1 + x2 + x3)",
+		"(x1 + x2 + x3)(~x2 + x3 + ~x4)(~x3 + ~x4 + ~x5)",
+		"(1 + -2 + !3)",
+		"(~~x1 + x2)",
+		"(x1 +",
+		"()",
+		"(x0 + x1)",
+		"((x1))",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		g, err := Parse(src)
+		if err != nil {
+			return
+		}
+		back, err := Parse(g.String())
+		if err != nil {
+			t.Fatalf("accepted %q but rejected rendering %q: %v", src, g.String(), err)
+		}
+		if back.String() != g.String() {
+			t.Fatalf("round trip changed %q -> %q", g.String(), back.String())
+		}
+	})
+}
+
+// FuzzParseDIMACS checks that the DIMACS reader never panics and that
+// accepted formulas survive a write/read cycle.
+func FuzzParseDIMACS(f *testing.F) {
+	seeds := []string{
+		"p cnf 3 1\n1 2 3 0\n",
+		"c comment\np cnf 5 3\n1 2 3 0\n-2 3 -4 0\n-3 -4 -5 0\n",
+		"p cnf 0 0\n",
+		"p cnf 2 1\n1\n2 0\n",
+		"p cnf 1 1\n1 0 extra",
+		"1 2 0",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		g, err := ParseDIMACS(strings.NewReader(src))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteDIMACS(&buf, g); err != nil {
+			t.Fatal(err)
+		}
+		back, err := ParseDIMACS(&buf)
+		if err != nil {
+			t.Fatalf("rejected own output: %v", err)
+		}
+		if back.NumVars != g.NumVars || back.String() != g.String() {
+			t.Fatalf("round trip changed the formula")
+		}
+	})
+}

@@ -1,0 +1,129 @@
+package cnf
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Random3CNF draws a random 3CNF formula with n variables and m clauses.
+// Each clause picks three distinct variables uniformly and negates each
+// with probability 1/2, matching the paper's standing assumptions
+// (distinct variables within every clause). n must be at least 3.
+func Random3CNF(rng *rand.Rand, n, m int) (*Formula, error) {
+	if n < 3 {
+		return nil, fmt.Errorf("cnf: need at least 3 variables for 3CNF, got %d", n)
+	}
+	if m < 0 {
+		return nil, fmt.Errorf("cnf: negative clause count %d", m)
+	}
+	clauses := make([]Clause, m)
+	for j := range clauses {
+		clauses[j] = randomClause(rng, n)
+	}
+	return New(n, clauses...)
+}
+
+func randomClause(rng *rand.Rand, n int) Clause {
+	vars := rng.Perm(n)[:3]
+	c := make(Clause, 3)
+	for i, v := range vars {
+		l := Lit(v + 1)
+		if rng.Intn(2) == 0 {
+			l = l.Neg()
+		}
+		c[i] = l
+	}
+	return c
+}
+
+// PlantedSatisfiable3CNF draws a random 3CNF with n variables and m
+// clauses that is guaranteed satisfiable: it first draws a hidden
+// assignment, then redraws any clause the assignment falsifies (flipping
+// one literal to agree). The returned assignment witnesses satisfiability.
+func PlantedSatisfiable3CNF(rng *rand.Rand, n, m int) (*Formula, Assignment, error) {
+	if n < 3 {
+		return nil, nil, fmt.Errorf("cnf: need at least 3 variables, got %d", n)
+	}
+	hidden := NewAssignment(n)
+	for v := 1; v <= n; v++ {
+		hidden.Set(v, rng.Intn(2) == 0)
+	}
+	clauses := make([]Clause, m)
+	for j := range clauses {
+		c := randomClause(rng, n)
+		if !c.Eval(hidden) {
+			// Flip one literal's polarity so the hidden assignment
+			// satisfies it.
+			i := rng.Intn(3)
+			c[i] = c[i].Neg()
+		}
+		clauses[j] = c
+	}
+	f, err := New(n, clauses...)
+	if err != nil {
+		return nil, nil, err
+	}
+	return f, hidden, nil
+}
+
+// Unsatisfiable3CNF draws a random 3CNF with n variables and m clauses
+// that is guaranteed unsatisfiable: the first eight clauses are the eight
+// sign patterns over three fixed distinct variables (jointly
+// unsatisfiable), and the remaining m−8 clauses are random. m must be at
+// least 8 and n at least 3.
+func Unsatisfiable3CNF(rng *rand.Rand, n, m int) (*Formula, error) {
+	if n < 3 {
+		return nil, fmt.Errorf("cnf: need at least 3 variables, got %d", n)
+	}
+	if m < 8 {
+		return nil, fmt.Errorf("cnf: unsatisfiable core needs at least 8 clauses, got %d", m)
+	}
+	core := rng.Perm(n)[:3]
+	clauses := make([]Clause, 0, m)
+	for bits := 0; bits < 8; bits++ {
+		c := make(Clause, 3)
+		for i, v := range core {
+			l := Lit(v + 1)
+			if bits&(1<<i) != 0 {
+				l = l.Neg()
+			}
+			c[i] = l
+		}
+		clauses = append(clauses, c)
+	}
+	for len(clauses) < m {
+		clauses = append(clauses, randomClause(rng, n))
+	}
+	return New(n, clauses...)
+}
+
+// PadWithFreshClauses returns a copy of f extended with extra clauses
+// (w₁ + w₂ + w₃) over fresh variables, one triple per clause. This is the
+// paper's Theorem 2 padding: it does not affect satisfiability (each added
+// clause is trivially satisfiable independently) and multiplies the model
+// count by exactly 7 per added clause.
+func PadWithFreshClauses(f *Formula, extra int) (*Formula, error) {
+	if extra < 0 {
+		return nil, fmt.Errorf("cnf: negative padding %d", extra)
+	}
+	out := f.Clone()
+	for k := 0; k < extra; k++ {
+		base := out.NumVars
+		out.NumVars += 3
+		out.Clauses = append(out.Clauses, Clause{Lit(base + 1), Lit(base + 2), Lit(base + 3)})
+	}
+	return out, nil
+}
+
+// PaperExample returns the formula of the paper's Section 3 example,
+//
+//	G = (x1 + x2 + x3)(~x2 + x3 + ~x4)(~x3 + ~x4 + ~x5),
+//
+// whose relation R_G is displayed in full on page 106.
+func PaperExample() *Formula {
+	return MustNew(5,
+		C(1, 2, 3),
+		C(-2, 3, -4),
+		C(-3, -4, -5),
+	)
+}

@@ -1,0 +1,130 @@
+package cnf
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// bruteSat is a tiny reference satisfiability check for ≤ 20 variables.
+func bruteSat(f *Formula) bool {
+	a := NewAssignment(f.NumVars)
+	for mask := uint64(0); mask < 1<<uint(f.NumVars); mask++ {
+		a.FromBits(mask)
+		if f.Eval(a) {
+			return true
+		}
+	}
+	return false
+}
+
+// bruteCount counts models for ≤ 20 variables.
+func bruteCount(f *Formula) int {
+	a := NewAssignment(f.NumVars)
+	count := 0
+	for mask := uint64(0); mask < 1<<uint(f.NumVars); mask++ {
+		a.FromBits(mask)
+		if f.Eval(a) {
+			count++
+		}
+	}
+	return count
+}
+
+func TestRandom3CNFShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		f, err := Random3CNF(rng, 6, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f.NumVars != 6 || f.NumClauses() != 10 {
+			t.Fatalf("shape n=%d m=%d", f.NumVars, f.NumClauses())
+		}
+		if err := f.CheckReductionForm(); err != nil {
+			t.Fatalf("reduction form: %v", err)
+		}
+	}
+	if _, err := Random3CNF(rng, 2, 3); err == nil {
+		t.Error("n=2 accepted")
+	}
+	if _, err := Random3CNF(rng, 3, -1); err == nil {
+		t.Error("m=-1 accepted")
+	}
+}
+
+func TestPlantedSatisfiable(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 50; trial++ {
+		f, hidden, err := PlantedSatisfiable3CNF(rng, 7, 20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !f.Eval(hidden) {
+			t.Fatalf("hidden assignment does not satisfy planted formula")
+		}
+		if err := f.CheckReductionForm(); err != nil {
+			t.Fatalf("reduction form: %v", err)
+		}
+	}
+	if _, _, err := PlantedSatisfiable3CNF(rng, 2, 3); err == nil {
+		t.Error("n=2 accepted")
+	}
+}
+
+func TestUnsatisfiable3CNF(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 20; trial++ {
+		f, err := Unsatisfiable3CNF(rng, 6, 12)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if bruteSat(f) {
+			t.Fatalf("Unsatisfiable3CNF produced a satisfiable formula: %v", f)
+		}
+		if err := f.CheckReductionForm(); err != nil {
+			t.Fatalf("reduction form: %v", err)
+		}
+	}
+	if _, err := Unsatisfiable3CNF(rng, 6, 7); err == nil {
+		t.Error("m=7 accepted (core needs 8)")
+	}
+	if _, err := Unsatisfiable3CNF(rng, 2, 8); err == nil {
+		t.Error("n=2 accepted")
+	}
+}
+
+func TestPadWithFreshClauses(t *testing.T) {
+	f := PaperExample()
+	baseCount := bruteCount(f)
+	padded, err := PadWithFreshClauses(f, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if padded.NumClauses() != 5 || padded.NumVars != 11 {
+		t.Fatalf("padded shape m=%d n=%d", padded.NumClauses(), padded.NumVars)
+	}
+	// Padding multiplies the model count by 7 per clause.
+	if got := bruteCount(padded); got != baseCount*49 {
+		t.Errorf("padded count = %d, want %d", got, baseCount*49)
+	}
+	// Original untouched.
+	if f.NumClauses() != 3 || f.NumVars != 5 {
+		t.Error("PadWithFreshClauses mutated its input")
+	}
+	if _, err := PadWithFreshClauses(f, -1); err == nil {
+		t.Error("negative padding accepted")
+	}
+}
+
+func TestPaperExampleSatisfiable(t *testing.T) {
+	f := PaperExample()
+	if !bruteSat(f) {
+		t.Fatal("paper example should be satisfiable")
+	}
+	// The example has 5 variables; count its models for later experiments.
+	count := bruteCount(f)
+	if count <= 0 || count >= 32 {
+		t.Fatalf("model count = %d out of range", count)
+	}
+	t.Logf("paper example a(G) = %d", count)
+}

@@ -1,0 +1,170 @@
+package cnf
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ParseDIMACS reads a formula in DIMACS CNF format:
+//
+//	c a comment
+//	p cnf <numVars> <numClauses>
+//	1 -2 3 0
+//	-1 2 -3 0
+//
+// Clauses may span lines; each is terminated by 0.
+func ParseDIMACS(r io.Reader) (*Formula, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
+	var (
+		numVars, numClauses int
+		haveHeader          bool
+		clauses             []Clause
+		current             Clause
+	)
+	lineno := 0
+	for sc.Scan() {
+		lineno++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "c") {
+			continue
+		}
+		if strings.HasPrefix(line, "p") {
+			if haveHeader {
+				return nil, fmt.Errorf("cnf: line %d: duplicate problem line", lineno)
+			}
+			fields := strings.Fields(line)
+			if len(fields) != 4 || fields[1] != "cnf" {
+				return nil, fmt.Errorf("cnf: line %d: malformed problem line %q", lineno, line)
+			}
+			var err1, err2 error
+			numVars, err1 = strconv.Atoi(fields[2])
+			numClauses, err2 = strconv.Atoi(fields[3])
+			if err1 != nil || err2 != nil || numVars < 0 || numClauses < 0 {
+				return nil, fmt.Errorf("cnf: line %d: malformed problem line %q", lineno, line)
+			}
+			haveHeader = true
+			continue
+		}
+		if !haveHeader {
+			return nil, fmt.Errorf("cnf: line %d: clause before problem line", lineno)
+		}
+		for _, tok := range strings.Fields(line) {
+			v, err := strconv.Atoi(tok)
+			if err != nil {
+				return nil, fmt.Errorf("cnf: line %d: bad literal %q", lineno, tok)
+			}
+			if v == 0 {
+				clauses = append(clauses, current)
+				current = nil
+				continue
+			}
+			current = append(current, Lit(v))
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if !haveHeader {
+		return nil, fmt.Errorf("cnf: missing problem line")
+	}
+	if len(current) > 0 {
+		return nil, fmt.Errorf("cnf: last clause not terminated by 0")
+	}
+	if len(clauses) != numClauses {
+		return nil, fmt.Errorf("cnf: problem line declares %d clauses, found %d", numClauses, len(clauses))
+	}
+	return New(numVars, clauses...)
+}
+
+// WriteDIMACS writes the formula in DIMACS CNF format.
+func WriteDIMACS(w io.Writer, f *Formula) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "p cnf %d %d\n", f.NumVars, len(f.Clauses))
+	for _, c := range f.Clauses {
+		for _, l := range c {
+			fmt.Fprintf(bw, "%d ", int(l))
+		}
+		fmt.Fprintln(bw, "0")
+	}
+	return bw.Flush()
+}
+
+// Parse reads the human-readable format used throughout the paper and this
+// library: a product of parenthesized clauses, literals joined by "+",
+// negation written "~" or "-" or "!":
+//
+//	(x1 + x2 + x3)(~x2 + x3 + ~x4)(~x3 + ~x4 + ~x5)
+//
+// Variable tokens are x<N> or plain <N>. NumVars is the largest variable
+// mentioned.
+func Parse(src string) (*Formula, error) {
+	var clauses []Clause
+	maxVar := 0
+	i := 0
+	skipSpace := func() {
+		for i < len(src) && (src[i] == ' ' || src[i] == '\t' || src[i] == '\n' || src[i] == '\r') {
+			i++
+		}
+	}
+	for {
+		skipSpace()
+		if i >= len(src) {
+			break
+		}
+		if src[i] != '(' {
+			return nil, fmt.Errorf("cnf: offset %d: expected '(', got %q", i, src[i])
+		}
+		i++
+		var clause Clause
+		for {
+			skipSpace()
+			neg := false
+			for i < len(src) && (src[i] == '~' || src[i] == '-' || src[i] == '!') {
+				neg = !neg
+				i++
+				skipSpace()
+			}
+			if i < len(src) && (src[i] == 'x' || src[i] == 'X') {
+				i++
+			}
+			start := i
+			for i < len(src) && src[i] >= '0' && src[i] <= '9' {
+				i++
+			}
+			if start == i {
+				return nil, fmt.Errorf("cnf: offset %d: expected variable number", i)
+			}
+			v, err := strconv.Atoi(src[start:i])
+			if err != nil || v == 0 {
+				return nil, fmt.Errorf("cnf: offset %d: bad variable %q", start, src[start:i])
+			}
+			if v > maxVar {
+				maxVar = v
+			}
+			l := Lit(v)
+			if neg {
+				l = l.Neg()
+			}
+			clause = append(clause, l)
+			skipSpace()
+			if i < len(src) && src[i] == '+' {
+				i++
+				continue
+			}
+			break
+		}
+		if i >= len(src) || src[i] != ')' {
+			return nil, fmt.Errorf("cnf: offset %d: expected ')' or '+'", i)
+		}
+		i++
+		clauses = append(clauses, clause)
+	}
+	if len(clauses) == 0 {
+		return nil, fmt.Errorf("cnf: empty formula text")
+	}
+	return New(maxVar, clauses...)
+}

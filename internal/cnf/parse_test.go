@@ -1,0 +1,127 @@
+package cnf
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestParseDIMACS(t *testing.T) {
+	input := `c example
+p cnf 5 3
+1 2 3 0
+-2 3 -4 0
+-3 -4 -5 0
+`
+	f, err := ParseDIMACS(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := PaperExample()
+	if f.NumVars != want.NumVars || f.String() != want.String() {
+		t.Errorf("parsed %v, want %v", f, want)
+	}
+}
+
+func TestParseDIMACSMultilineClause(t *testing.T) {
+	input := "p cnf 3 1\n1\n2 3 0\n"
+	f, err := ParseDIMACS(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.NumClauses() != 1 || len(f.Clauses[0]) != 3 {
+		t.Errorf("parsed %v", f)
+	}
+}
+
+func TestParseDIMACSErrors(t *testing.T) {
+	cases := []struct{ name, input string }{
+		{"no header", "1 2 0\n"},
+		{"bad header", "p sat 3 1\n1 0\n"},
+		{"duplicate header", "p cnf 1 1\np cnf 1 1\n1 0\n"},
+		{"bad literal", "p cnf 3 1\n1 a 0\n"},
+		{"unterminated", "p cnf 3 1\n1 2 3\n"},
+		{"count mismatch", "p cnf 3 2\n1 2 3 0\n"},
+		{"variable overflow", "p cnf 2 1\n1 2 3 0\n"},
+	}
+	for _, tc := range cases {
+		if _, err := ParseDIMACS(strings.NewReader(tc.input)); err == nil {
+			t.Errorf("%s: no error", tc.name)
+		}
+	}
+}
+
+func TestDIMACSRoundTrip(t *testing.T) {
+	f := PaperExample()
+	var buf bytes.Buffer
+	if err := WriteDIMACS(&buf, f); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseDIMACS(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.String() != f.String() || back.NumVars != f.NumVars {
+		t.Errorf("round trip: %v", back)
+	}
+}
+
+func TestParseHuman(t *testing.T) {
+	f, err := Parse("(x1 + x2 + x3)(~x2 + x3 + ~x4)(~x3 + ~x4 + ~x5)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.String() != PaperExample().String() {
+		t.Errorf("parsed %v", f)
+	}
+	if f.NumVars != 5 {
+		t.Errorf("NumVars = %d", f.NumVars)
+	}
+}
+
+func TestParseHumanVariants(t *testing.T) {
+	// '-' and '!' negation, bare numbers, arbitrary spacing.
+	f, err := Parse(" ( 1 + -2 + !3 ) (X4+x5+~1) ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := f.String(); got != "(x1 + ~x2 + ~x3)(x4 + x5 + ~x1)" {
+		t.Errorf("parsed %q", got)
+	}
+	// Double negation cancels.
+	g, err := Parse("(~~x1 + x2 + x3)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Clauses[0][0] != Lit(1) {
+		t.Errorf("double negation: %v", g.Clauses[0][0])
+	}
+}
+
+func TestParseHumanErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"x1 + x2",
+		"(x1 + x2",
+		"(x1 ++ x2)",
+		"(x0 + x1 + x2)",
+		"(x1 + + x2)",
+		"()",
+	}
+	for _, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("%q: no error", src)
+		}
+	}
+}
+
+func TestParseHumanRoundTrip(t *testing.T) {
+	f := MustNew(6, C(1, -2, 3), C(-4, 5, -6), C(2, 3, 4))
+	back, err := Parse(f.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.String() != f.String() {
+		t.Errorf("round trip %q -> %q", f.String(), back.String())
+	}
+}

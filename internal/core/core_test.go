@@ -1,0 +1,199 @@
+package core
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"relquery/internal/cnf"
+	"relquery/internal/qbf"
+	"relquery/internal/sat"
+)
+
+func testFormulas(t *testing.T, seed int64) (gSat, gUnsat *cnf.Formula) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	gSat, _, err := cnf.PlantedSatisfiable3CNF(rng, 4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gSat, _ = cnf.Compact(gSat)
+	gUnsat, err = cnf.Unsatisfiable3CNF(rng, 3, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gUnsat, _ = cnf.Compact(gUnsat)
+	return gSat, gUnsat
+}
+
+func TestSATViaMembership(t *testing.T) {
+	gSat, gUnsat := testFormulas(t, 1)
+	res, err := SATViaMembership(gSat)
+	if err != nil || !res.Answer {
+		t.Errorf("satisfiable formula: %+v %v", res, err)
+	}
+	res, err = SATViaMembership(gUnsat)
+	if err != nil || res.Answer {
+		t.Errorf("unsatisfiable formula: %+v %v", res, err)
+	}
+	if !strings.Contains(res.Route, "Prop. 1") {
+		t.Errorf("route = %q", res.Route)
+	}
+}
+
+func TestUNSATViaFixpoint(t *testing.T) {
+	gSat, gUnsat := testFormulas(t, 2)
+	res, err := UNSATViaFixpoint(gUnsat)
+	if err != nil || !res.Answer {
+		t.Errorf("unsat formula: %+v %v", res, err)
+	}
+	res, err = UNSATViaFixpoint(gSat)
+	if err != nil || res.Answer {
+		t.Errorf("sat formula: %+v %v", res, err)
+	}
+}
+
+func TestSATAndUNSATRoutes(t *testing.T) {
+	gSat, gUnsat := testFormulas(t, 3)
+	combos := []struct {
+		g, gp *cnf.Formula
+		want  bool
+	}{
+		{gSat, gSat, false},
+		{gSat, gUnsat, true},
+		{gUnsat, gSat, false},
+		{gUnsat, gUnsat, false},
+	}
+	for i, combo := range combos {
+		res, err := SATAndUNSATViaResultEquals(combo.g, combo.gp)
+		if err != nil {
+			t.Fatalf("combo %d: %v", i, err)
+		}
+		if res.Answer != combo.want {
+			t.Errorf("combo %d (Thm 1): got %v, want %v", i, res.Answer, combo.want)
+		}
+		res, err = SATAndUNSATViaCardinality(combo.g, combo.gp)
+		if err != nil {
+			t.Fatalf("combo %d: %v", i, err)
+		}
+		if res.Answer != combo.want {
+			t.Errorf("combo %d (Thm 2): got %v, want %v", i, res.Answer, combo.want)
+		}
+	}
+}
+
+func TestCountModelsViaQuery(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 5; trial++ {
+		g, err := cnf.Random3CNF(rng, 4+rng.Intn(3), 3+rng.Intn(3))
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, _ = cnf.Compact(g)
+		want, err := sat.CountModels(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := CountModelsViaQuery(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Errorf("CountModelsViaQuery = %d, solver = %d for %v", got, want, g)
+		}
+	}
+}
+
+func TestQ3SATRoutes(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 6; trial++ {
+		n := 3 + rng.Intn(3)
+		m := 3 + rng.Intn(3)
+		g, err := cnf.Random3CNF(rng, n, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := 1 + rng.Intn(2)
+		universal := rng.Perm(n)[:r]
+		for i := range universal {
+			universal[i]++
+		}
+		inst := &qbf.Instance{G: g, Universal: universal}
+		direct, err := qbf.Solve(inst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		via4, err := Q3SATViaQueryComparison(inst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if via4.Answer != direct.Holds {
+			t.Errorf("Theorem 4 route: got %v, solver %v for %v", via4.Answer, direct.Holds, inst)
+		}
+		via5, err := Q3SATViaRelationComparison(inst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if via5.Answer != direct.Holds {
+			t.Errorf("Theorem 5 route: got %v, solver %v for %v", via5.Answer, direct.Holds, inst)
+		}
+	}
+}
+
+func TestNormalizeHandlesShortAndGappyFormulas(t *testing.T) {
+	// One clause, unused variable: normalize pads to 3 clauses and
+	// compacts.
+	g := cnf.MustNew(5, cnf.C(1, 2, 4))
+	res, err := SATViaMembership(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Answer {
+		t.Error("trivially satisfiable formula reported unsat")
+	}
+	// Non-3CNF is rejected.
+	bad := cnf.MustNew(2, cnf.C(1, 2))
+	if _, err := SATViaMembership(bad); err == nil {
+		t.Error("2-literal clause accepted")
+	}
+}
+
+func TestVerifiers(t *testing.T) {
+	gSat, gUnsat := testFormulas(t, 6)
+	for _, g := range []*cnf.Formula{gSat, gUnsat, cnf.PaperExample()} {
+		if err := VerifyLemma1(g); err != nil {
+			t.Errorf("VerifyLemma1(%v): %v", g, err)
+		}
+	}
+	if err := VerifyProposition1(gSat, true); err != nil {
+		t.Errorf("VerifyProposition1(sat): %v", err)
+	}
+	if err := VerifyProposition1(gUnsat, false); err != nil {
+		t.Errorf("VerifyProposition1(unsat): %v", err)
+	}
+	// Wrong satisfiability claim must be detected.
+	if err := VerifyProposition1(gSat, false); err == nil {
+		t.Error("VerifyProposition1 accepted a wrong satisfiability claim")
+	}
+}
+
+func TestCatalogComplete(t *testing.T) {
+	cat := Catalog()
+	if len(cat) != 7 {
+		t.Fatalf("catalog has %d problems, want 7", len(cat))
+	}
+	seen := make(map[string]bool)
+	for _, p := range cat {
+		if p.Name == "" || p.Statement == "" || p.Class == "" || p.PaperRef == "" || p.Procedure == "" || p.Reduction == "" {
+			t.Errorf("incomplete catalog entry %+v", p)
+		}
+		if seen[p.Name] {
+			t.Errorf("duplicate problem %q", p.Name)
+		}
+		seen[p.Name] = true
+	}
+	// The headline result is present.
+	if !seen["result-verification"] {
+		t.Error("catalog missing result-verification")
+	}
+}

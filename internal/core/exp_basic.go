@@ -1,0 +1,228 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"relquery/internal/cnf"
+	"relquery/internal/decide"
+	"relquery/internal/reduction"
+	"relquery/internal/relation"
+	"relquery/internal/sat"
+)
+
+// runE0 regenerates the paper's one displayed artifact: the relation R_G
+// for G = (x1+x2+x3)(~x2+x3+~x4)(~x3+~x4+~x5), printed row-for-row in the
+// paper's order, together with φ_G.
+func runE0(cfg *Config) error {
+	g := cnf.PaperExample()
+	c, err := reduction.New(g)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(cfg.Out, "G = %v\n", g)
+	fmt.Fprintf(cfg.Out, "|R_G| = %d rows (paper: 22), scheme %v\n\n", c.R.Len(), c.Scheme())
+	fmt.Fprint(cfg.Out, relation.Render(c.R, relation.RenderOptions{}))
+	phi, err := c.PhiG()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(cfg.Out, "\nφ_G = %v\n", phi)
+	if c.R.Len() != 22 {
+		return fmt.Errorf("expected 22 rows, got %d", c.R.Len())
+	}
+	return nil
+}
+
+// runE1 sweeps random formulas, checking Lemma 1 and Proposition 1 and the
+// join-dependency reading of unsatisfiability.
+func runE1(cfg *Config) error {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	trials := 12
+	if cfg.Quick {
+		trials = 4
+	}
+	t := newTable(cfg.Out, "n", "m", "|R_G|", "|φ_G(R_G)|", "a(G)", "sat", "lemma1", "prop1")
+	for i := 0; i < trials; i++ {
+		var g *cnf.Formula
+		var err error
+		switch i % 3 {
+		case 0, 1:
+			g, err = cnf.Random3CNF(rng, 4+rng.Intn(3), 3+rng.Intn(3))
+		default:
+			g, err = cnf.Unsatisfiable3CNF(rng, 3+rng.Intn(2), 8)
+		}
+		if err != nil {
+			return err
+		}
+		g, _ = cnf.Compact(g)
+		c, result, err := EvalGadget(g)
+		if err != nil {
+			return err
+		}
+		aG, err := sat.CountModels(c.G)
+		if err != nil {
+			return err
+		}
+		satisfiable := aG > 0
+		lemmaOK := VerifyLemma1(c.G) == nil && reduction.CountingIdentity(c, result.Len()) == aG
+		propOK := VerifyProposition1(c.G, satisfiable) == nil
+		t.row(c.N(), c.M(), c.R.Len(), result.Len(), aG, yesNo(satisfiable), mark(lemmaOK), mark(propOK))
+	}
+	return t.flush()
+}
+
+// comboFormulas draws one formula per satisfiability outcome.
+func comboFormulas(rng *rand.Rand) (gSat, gUnsat *cnf.Formula, err error) {
+	gSat, _, err = cnf.PlantedSatisfiable3CNF(rng, 4, 3)
+	if err != nil {
+		return nil, nil, err
+	}
+	gSat, _ = cnf.Compact(gSat)
+	gUnsat, err = cnf.Unsatisfiable3CNF(rng, 3, 8)
+	if err != nil {
+		return nil, nil, err
+	}
+	gUnsat, _ = cnf.Compact(gUnsat)
+	return gSat, gUnsat, nil
+}
+
+// runE2 exercises Theorem 1 over all four (sat, unsat) combinations,
+// comparing the query-side Dᵖ decision with the SAT solver.
+func runE2(cfg *Config) error {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	trials := 3
+	if cfg.Quick {
+		trials = 1
+	}
+	t := newTable(cfg.Out, "sat(G)", "sat(G')", "φ(R)=r", "expected", "agree", "query_ms", "solver_µs")
+	for i := 0; i < trials; i++ {
+		gSat, gUnsat, err := comboFormulas(rng)
+		if err != nil {
+			return err
+		}
+		for _, combo := range [][2]*cnf.Formula{
+			{gSat, gSat}, {gSat, gUnsat}, {gUnsat, gSat}, {gUnsat, gUnsat},
+		} {
+			start := time.Now()
+			res, err := SATAndUNSATViaResultEquals(combo[0], combo[1])
+			if err != nil {
+				return err
+			}
+			queryDur := time.Since(start)
+
+			start = time.Now()
+			s1, _, err := sat.Satisfiable(combo[0])
+			if err != nil {
+				return err
+			}
+			s2, _, err := sat.Satisfiable(combo[1])
+			if err != nil {
+				return err
+			}
+			solverDur := time.Since(start)
+			expected := s1 && !s2
+			t.row(yesNo(s1), yesNo(s2), yesNo(res.Answer), yesNo(expected),
+				mark(res.Answer == expected), queryDur.Milliseconds(), solverDur.Microseconds())
+		}
+	}
+	return t.flush()
+}
+
+// runE3 exercises Theorem 2's cardinality window on the same combinations,
+// reporting β, β′ and the window.
+func runE3(cfg *Config) error {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	gSat, gUnsat, err := comboFormulas(rng)
+	if err != nil {
+		return err
+	}
+	t := newTable(cfg.Out, "sat(G)", "sat(G')", "β", "β'", "window", "|φ(R)|", "in_window", "expected", "agree")
+	for _, combo := range [][2]*cnf.Formula{
+		{gSat, gSat}, {gSat, gUnsat}, {gUnsat, gSat}, {gUnsat, gUnsat},
+	} {
+		inst, err := reduction.Theorem2(combo[0], combo[1])
+		if err != nil {
+			return err
+		}
+		size, err := decide.Count(inst.Phi(), inst.Database(), decide.Budget{})
+		if err != nil {
+			return err
+		}
+		inWindow := inst.D1 <= size && size <= inst.D2
+		s1, _, err := sat.Satisfiable(combo[0])
+		if err != nil {
+			return err
+		}
+		s2, _, err := sat.Satisfiable(combo[1])
+		if err != nil {
+			return err
+		}
+		expected := s1 && !s2
+		t.row(yesNo(s1), yesNo(s2), inst.Beta, inst.BetaPrime,
+			fmt.Sprintf("[%d,%d]", inst.D1, inst.D2), size,
+			yesNo(inWindow), yesNo(expected), mark(inWindow == expected))
+	}
+	if err := t.flush(); err != nil {
+		return err
+	}
+	// Single-sided bounds (NP and co-NP halves).
+	fmt.Fprintln(cfg.Out, "\nsingle-formula bounds (β = m+1): sat ⇔ β+1 ≤ |π_Y φ_G(R_G)|")
+	t2 := newTable(cfg.Out, "formula", "β", "|π_Y φ(R)|", "β+1 ≤ |·|", "sat", "agree")
+	for _, g := range []*cnf.Formula{gSat, gUnsat} {
+		sc, err := reduction.NewSingleCardinality(g)
+		if err != nil {
+			return err
+		}
+		size, err := decide.Count(sc.Phi, sc.C.Database(), decide.Budget{})
+		if err != nil {
+			return err
+		}
+		s, _, err := sat.Satisfiable(g)
+		if err != nil {
+			return err
+		}
+		atLeast := size >= sc.Beta+1
+		t2.row(fmt.Sprintf("m=%d", g.NumClauses()), sc.Beta, size, yesNo(atLeast), yesNo(s), mark(atLeast == s))
+	}
+	return t2.flush()
+}
+
+// runE4 cross-checks three #3SAT counters: brute force, DPLL-with-
+// components, and the Theorem 3 query route.
+func runE4(cfg *Config) error {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	trials := 8
+	if cfg.Quick {
+		trials = 3
+	}
+	t := newTable(cfg.Out, "n", "m", "a(G) brute", "a(G) component", "a(G) query", "agree", "query_ms")
+	for i := 0; i < trials; i++ {
+		g, err := cnf.Random3CNF(rng, 4+rng.Intn(4), 3+rng.Intn(4))
+		if err != nil {
+			return err
+		}
+		g, _ = cnf.Compact(g)
+		if err := g.CheckReductionForm(); err != nil {
+			return err
+		}
+		brute, err := (sat.BruteCounter{}).Count(g)
+		if err != nil {
+			return err
+		}
+		comp, err := (sat.ComponentCounter{}).Count(g)
+		if err != nil {
+			return err
+		}
+		start := time.Now()
+		query, err := CountModelsViaQuery(g)
+		if err != nil {
+			return err
+		}
+		dur := time.Since(start)
+		t.row(g.NumVars, g.NumClauses(), brute, comp, query,
+			mark(brute == comp && comp == query), dur.Milliseconds())
+	}
+	return t.flush()
+}

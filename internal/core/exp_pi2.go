@@ -1,0 +1,67 @@
+package core
+
+import (
+	"math/rand"
+	"time"
+
+	"relquery/internal/cnf"
+	"relquery/internal/qbf"
+)
+
+// randomQ3SAT draws a random Q-3SAT instance over small n, m with a
+// universal set of size 1 or 2.
+func randomQ3SAT(rng *rand.Rand) (*qbf.Instance, error) {
+	n := 3 + rng.Intn(3)
+	m := 3 + rng.Intn(3)
+	g, err := cnf.Random3CNF(rng, n, m)
+	if err != nil {
+		return nil, err
+	}
+	r := 1 + rng.Intn(2)
+	universal := rng.Perm(n)[:r]
+	for i := range universal {
+		universal[i]++
+	}
+	return &qbf.Instance{G: g, Universal: universal}, nil
+}
+
+// runPi2 drives E5/E6: decide random ∀∃ sentences with the exhaustive QBF
+// solver and via the chosen query reduction, and compare.
+func runPi2(cfg *Config, via func(*qbf.Instance) (Result, error)) error {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	trials := 10
+	if cfg.Quick {
+		trials = 4
+	}
+	t := newTable(cfg.Out, "n", "m", "|X|", "∀∃ solver", "∀∃ query", "agree", "oracle_calls", "query_ms")
+	for i := 0; i < trials; i++ {
+		inst, err := randomQ3SAT(rng)
+		if err != nil {
+			return err
+		}
+		direct, err := qbf.Solve(inst)
+		if err != nil {
+			return err
+		}
+		start := time.Now()
+		res, err := via(inst)
+		if err != nil {
+			return err
+		}
+		dur := time.Since(start)
+		t.row(inst.G.NumVars, inst.G.NumClauses(), len(inst.Universal),
+			yesNo(direct.Holds), yesNo(res.Answer), mark(direct.Holds == res.Answer),
+			direct.OracleCalls, dur.Milliseconds())
+	}
+	return t.flush()
+}
+
+// runE5 reproduces Theorem 4 (two queries, fixed relation).
+func runE5(cfg *Config) error {
+	return runPi2(cfg, Q3SATViaQueryComparison)
+}
+
+// runE6 reproduces Theorem 5 (fixed query, two relations).
+func runE6(cfg *Config) error {
+	return runPi2(cfg, Q3SATViaRelationComparison)
+}

@@ -1,0 +1,128 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"text/tabwriter"
+)
+
+// Config parameterizes an experiment run.
+type Config struct {
+	// Out receives the experiment's table.
+	Out io.Writer
+	// Seed drives every random generator, making runs reproducible.
+	Seed int64
+	// Quick shrinks sweeps for fast CI runs; the full sweeps are the ones
+	// recorded in EXPERIMENTS.md.
+	Quick bool
+}
+
+// Experiment is one reproducible experiment from EXPERIMENTS.md.
+type Experiment struct {
+	// ID is the experiment identifier, e.g. "E1".
+	ID string
+	// Title says what the experiment reproduces.
+	Title string
+	// Run executes the experiment, writing its table to cfg.Out.
+	Run func(cfg *Config) error
+}
+
+// All returns every experiment in ID order.
+func All() []Experiment {
+	exps := []Experiment{
+		{"E0", "Paper's worked example: R_G table and φ_G (p. 106)", runE0},
+		{"E1", "Lemma 1 / Proposition 1 verification sweep", runE1},
+		{"E2", "Theorem 1: φ(R) = r ⇔ SAT(G) ∧ UNSAT(G′) (Dᵖ)", runE2},
+		{"E3", "Theorem 2: cardinality window ⇔ SAT ∧ UNSAT", runE3},
+		{"E4", "Theorem 3: #3SAT via |φ_G(R_G)| − 7m − 1 (#P)", runE4},
+		{"E5", "Theorem 4: Q-3SAT via query comparison, fixed relation (Π₂ᵖ)", runE5},
+		{"E6", "Theorem 5: Q-3SAT via relation comparison, fixed query (Π₂ᵖ)", runE6},
+		{"E7", "Intermediate-result blow-up (Introduction's claim)", runE7},
+		{"E8", "Acyclic vs cyclic evaluation (Yannakakis 1981 ablation)", runE8},
+	}
+	sort.Slice(exps, func(i, j int) bool { return exps[i].ID < exps[j].ID })
+	return exps
+}
+
+// ByID returns the experiment with the given ID.
+func ByID(id string) (Experiment, error) {
+	for _, e := range All() {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	return Experiment{}, fmt.Errorf("core: unknown experiment %q", id)
+}
+
+// Run executes the experiments with the given IDs (all of them when ids is
+// empty), separated by headers.
+func Run(ids []string, cfg *Config) error {
+	var exps []Experiment
+	if len(ids) == 0 {
+		exps = All()
+	} else {
+		for _, id := range ids {
+			e, err := ByID(id)
+			if err != nil {
+				return err
+			}
+			exps = append(exps, e)
+		}
+	}
+	for i, e := range exps {
+		if i > 0 {
+			fmt.Fprintln(cfg.Out)
+		}
+		fmt.Fprintf(cfg.Out, "=== %s: %s ===\n", e.ID, e.Title)
+		if err := e.Run(cfg); err != nil {
+			return fmt.Errorf("%s: %w", e.ID, err)
+		}
+	}
+	return nil
+}
+
+// table is a small helper for aligned experiment tables.
+type table struct {
+	w *tabwriter.Writer
+}
+
+func newTable(out io.Writer, header ...string) *table {
+	t := &table{w: tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)}
+	t.row(toAny(header)...)
+	return t
+}
+
+func toAny(ss []string) []any {
+	out := make([]any, len(ss))
+	for i, s := range ss {
+		out[i] = s
+	}
+	return out
+}
+
+func (t *table) row(cells ...any) {
+	for i, c := range cells {
+		if i > 0 {
+			fmt.Fprint(t.w, "\t")
+		}
+		fmt.Fprint(t.w, c)
+	}
+	fmt.Fprintln(t.w)
+}
+
+func (t *table) flush() error { return t.w.Flush() }
+
+func mark(ok bool) string {
+	if ok {
+		return "ok"
+	}
+	return "MISMATCH"
+}
+
+func yesNo(b bool) string {
+	if b {
+		return "yes"
+	}
+	return "no"
+}

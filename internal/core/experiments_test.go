@@ -1,0 +1,69 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestAllExperimentsRunQuick(t *testing.T) {
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			var buf bytes.Buffer
+			cfg := &Config{Out: &buf, Seed: 99, Quick: true}
+			if err := e.Run(cfg); err != nil {
+				t.Fatalf("%s: %v\noutput so far:\n%s", e.ID, err, buf.String())
+			}
+			out := buf.String()
+			if strings.Contains(out, "MISMATCH") {
+				t.Errorf("%s reported a mismatch:\n%s", e.ID, out)
+			}
+			if len(out) == 0 {
+				t.Errorf("%s produced no output", e.ID)
+			}
+		})
+	}
+}
+
+func TestRunSelection(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := &Config{Out: &buf, Seed: 1, Quick: true}
+	if err := Run([]string{"E0"}, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "=== E0") {
+		t.Errorf("missing header:\n%s", buf.String())
+	}
+	if err := Run([]string{"E99"}, cfg); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestByID(t *testing.T) {
+	e, err := ByID("E4")
+	if err != nil || e.ID != "E4" {
+		t.Errorf("ByID(E4) = %+v, %v", e, err)
+	}
+	if _, err := ByID("nope"); err == nil {
+		t.Error("ByID(nope) succeeded")
+	}
+}
+
+func TestE0MatchesPaperRowCount(t *testing.T) {
+	var buf bytes.Buffer
+	if err := runE0(&Config{Out: &buf, Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "|R_G| = 22 rows") {
+		t.Errorf("E0 output missing row count:\n%s", out)
+	}
+	// Spot-check the first data row and ν row of the paper's table.
+	if !strings.Contains(out, "1   e   e   0   0   1   e   e   x") {
+		t.Errorf("E0 output missing first table row:\n%s", out)
+	}
+	if !strings.Contains(out, "b") {
+		t.Errorf("E0 output missing ν row:\n%s", out)
+	}
+}

@@ -1,0 +1,170 @@
+// Package decide implements the decision procedures whose complexity the
+// paper characterizes, as exhaustive search over tableau valuations:
+//
+//	Member                  t ∈ φ(R)            NP       (Proposition 2)
+//	ResultEquals            φ(R) = r            Dᵖ       (Theorem 1)
+//	CardAtLeast/AtMost/...  d₁ ≤ |φ(R)| ≤ d₂    Dᵖ       (Theorem 2)
+//	Count                   |φ(R)|              #P-hard  (Theorem 3)
+//	ContainedFixedRelation  φ₁(R) ⊆ φ₂(R)       Π₂ᵖ      (Theorem 4)
+//	ContainedFixedQuery     φ(R₁) ⊆ φ(R₂)       Π₂ᵖ      (Theorem 5)
+//
+// Each procedure mirrors the membership proof in the paper: an NP "guess"
+// becomes a backtracking search for a valuation (tableau.Member), a co-NP
+// refutation becomes a streaming search for a witness tuple, and a Π₂ᵖ
+// test becomes a ∀-loop over one query's output with an NP-oracle call per
+// tuple. Everything streams: no procedure ever materializes an
+// intermediate join, so space stays polynomial while time may be
+// exponential — the honest trade the paper's results allow.
+package decide
+
+import (
+	"fmt"
+
+	"relquery/internal/algebra"
+	"relquery/internal/relation"
+	"relquery/internal/tableau"
+)
+
+// Budget caps the work of a decision procedure. The zero Budget is
+// unlimited.
+type Budget struct {
+	// MaxTuples, when positive, bounds how many (not necessarily
+	// distinct) result tuples a streaming search may visit before giving
+	// up with ErrBudget.
+	MaxTuples int
+}
+
+// ErrBudget is returned (wrapped) when a procedure exceeds its budget.
+var ErrBudget = fmt.Errorf("decide: search budget exceeded")
+
+type budgetCounter struct {
+	limit   int
+	visited int
+}
+
+func (b *budgetCounter) tick() bool {
+	b.visited++
+	return b.limit <= 0 || b.visited <= b.limit
+}
+
+// Member reports whether the named tuple belongs to φ(db) — the paper's
+// Proposition 2, in NP via tableau valuation guessing.
+func Member(nt relation.NamedTuple, phi algebra.Expr, db relation.Database) (bool, error) {
+	tb, err := tableau.New(phi)
+	if err != nil {
+		return false, err
+	}
+	return tb.Member(nt, db)
+}
+
+// Comparison is the outcome of a relation-valued comparison, carrying a
+// witness when the comparison fails.
+type Comparison struct {
+	// Holds reports whether the tested relationship holds.
+	Holds bool
+	// Witness, when Holds is false, is a tuple demonstrating the failure
+	// (e.g. a tuple of φ(R) missing from r). Nil when Holds.
+	Witness relation.Tuple
+	// WitnessScheme names the witness's columns.
+	WitnessScheme relation.Scheme
+}
+
+// ResultEquals decides φ(db) = r — the paper's Theorem 1 problem. It
+// decomposes exactly as the Dᵖ membership proof does:
+//
+//	(NP part)    r ⊆ φ(db): for every tuple of r, search a valuation;
+//	(co-NP part) φ(db) ⊆ r: stream φ(db)'s tuples hunting for one
+//	             outside r, succeeding when the search exhausts.
+func ResultEquals(phi algebra.Expr, db relation.Database, r *relation.Relation, b Budget) (Comparison, error) {
+	if !r.Scheme().Equal(phi.Scheme()) {
+		// Schemes differ: never equal; any tuple of either side witnesses.
+		return Comparison{Holds: false}, nil
+	}
+	sub, err := ConjecturedSubset(r, phi, db)
+	if err != nil {
+		return Comparison{}, err
+	}
+	if !sub.Holds {
+		return sub, nil
+	}
+	return ResultSubset(phi, db, r, b)
+}
+
+// ConjecturedSubset decides r ⊆ φ(db) (the NP half of Theorem 1; this is
+// also Yannakakis' membership problem iterated over r's tuples).
+func ConjecturedSubset(r *relation.Relation, phi algebra.Expr, db relation.Database) (Comparison, error) {
+	tb, err := tableau.New(phi)
+	if err != nil {
+		return Comparison{}, err
+	}
+	out := Comparison{Holds: true}
+	var loopErr error
+	r.Each(func(tp relation.Tuple) bool {
+		nt := relation.NamedTuple{Scheme: r.Scheme(), Vals: tp}
+		ok, err := tb.Member(nt, db)
+		if err != nil {
+			loopErr = err
+			return false
+		}
+		if !ok {
+			out = Comparison{Holds: false, Witness: tp, WitnessScheme: r.Scheme()}
+			return false
+		}
+		return true
+	})
+	if loopErr != nil {
+		return Comparison{}, loopErr
+	}
+	return out, nil
+}
+
+// ResultSubset decides φ(db) ⊆ r (the co-NP half of Theorem 1): it
+// streams result tuples until one falls outside r.
+func ResultSubset(phi algebra.Expr, db relation.Database, r *relation.Relation, b Budget) (Comparison, error) {
+	if !r.Scheme().Equal(phi.Scheme()) {
+		return Comparison{Holds: false}, nil
+	}
+	tb, err := tableau.New(phi)
+	if err != nil {
+		return Comparison{}, err
+	}
+	aligned, err := alignToTarget(r, phi.Scheme())
+	if err != nil {
+		return Comparison{}, err
+	}
+	bc := budgetCounter{limit: b.MaxTuples}
+	out := Comparison{Holds: true}
+	budgetHit := false
+	err = tb.Stream(db, func(tp relation.Tuple) bool {
+		if !bc.tick() {
+			budgetHit = true
+			return false
+		}
+		if !aligned.Contains(tp) {
+			out = Comparison{Holds: false, Witness: tp.Clone(), WitnessScheme: phi.Scheme()}
+			return false
+		}
+		return true
+	})
+	if err != nil {
+		return Comparison{}, err
+	}
+	if budgetHit {
+		return Comparison{}, fmt.Errorf("%w: visited %d tuples deciding φ(R) ⊆ r", ErrBudget, bc.visited)
+	}
+	return out, nil
+}
+
+// alignToTarget rewrites r's tuples into the column order of target
+// (set-equal schemes).
+func alignToTarget(r *relation.Relation, target relation.Scheme) (*relation.Relation, error) {
+	if r.Scheme().SameOrder(target) {
+		return r, nil
+	}
+	return r.Project(target)
+}
+
+// errBudget builds a wrapped budget error.
+func errBudget(doing string, visited int) error {
+	return fmt.Errorf("%w: visited %d tuples %s", ErrBudget, visited, doing)
+}

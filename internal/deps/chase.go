@@ -1,0 +1,167 @@
+package deps
+
+import (
+	"fmt"
+
+	"relquery/internal/algebra"
+	"relquery/internal/relation"
+	"relquery/internal/tableau"
+)
+
+// The FD chase on tableaux (Aho–Sagiv–Ullman 1979): repeatedly, whenever
+// two rows of the same operand agree variable-for-variable on an FD's
+// left side, unify their right-side variables. The chase terminates (each
+// step removes a variable) and yields a tableau equivalent to the original
+// on every database satisfying the dependencies. It upgrades
+// Chandra–Merlin containment to containment under dependencies:
+//
+//	Q₁ ⊑_Σ Q₂  ⇔  hom( tableau(Q₂) → chase_Σ(tableau(Q₁)) ).
+
+// ChaseFDs returns the chase of t under the FDs, which are understood to
+// hold in the relation bound to the given operand name. Rows of other
+// operands are untouched. The input tableau is not modified.
+func ChaseFDs(t *tableau.Tableau, operand string, fds []FD) (*tableau.Tableau, error) {
+	out := t.Clone()
+	for _, fd := range fds {
+		for _, row := range out.Rows {
+			if row.Operand != operand {
+				continue
+			}
+			if err := fd.Validate(row.Scheme); err != nil {
+				return nil, fmt.Errorf("deps: chase: %w", err)
+			}
+			break // schemes of one operand's rows coincide; validate once
+		}
+	}
+	for {
+		changed := false
+		for _, fd := range fds {
+			for i := 0; i < len(out.Rows); i++ {
+				if out.Rows[i].Operand != operand {
+					continue
+				}
+				for j := i + 1; j < len(out.Rows); j++ {
+					if out.Rows[j].Operand != operand {
+						continue
+					}
+					if applyFD(out, fd, i, j) {
+						changed = true
+					}
+				}
+			}
+		}
+		if !changed {
+			return out, nil
+		}
+	}
+}
+
+// applyFD equates the To-variables of rows i and j when they agree on
+// every From-variable, returning whether anything changed.
+func applyFD(t *tableau.Tableau, fd FD, i, j int) bool {
+	ri, rj := t.Rows[i], t.Rows[j]
+	for _, a := range fd.From.Attrs() {
+		pi, _ := ri.Scheme.Pos(a)
+		pj, _ := rj.Scheme.Pos(a)
+		if ri.Vars[pi] != rj.Vars[pj] {
+			return false
+		}
+	}
+	changed := false
+	for _, a := range fd.To.Attrs() {
+		pi, _ := ri.Scheme.Pos(a)
+		pj, _ := rj.Scheme.Pos(a)
+		vi, vj := ri.Vars[pi], rj.Vars[pj]
+		if vi == vj {
+			continue
+		}
+		// Unify toward the smaller variable for determinism.
+		from, to := vi, vj
+		if from < to {
+			from, to = to, from
+		}
+		t.Unify(from, to)
+		changed = true
+	}
+	return changed
+}
+
+// ContainedUnderFDs decides containment of project–join queries over a
+// single relation under a set of FDs on that relation: q1 ⊑_Σ q2 on every
+// database whose relation satisfies the FDs. Both queries must reference
+// only the given operand.
+func ContainedUnderFDs(q1, q2 algebra.Expr, operand string, fds []FD) (bool, error) {
+	if err := singleOperand(q1, operand); err != nil {
+		return false, err
+	}
+	if err := singleOperand(q2, operand); err != nil {
+		return false, err
+	}
+	t1, err := tableau.New(q1)
+	if err != nil {
+		return false, err
+	}
+	t2, err := tableau.New(q2)
+	if err != nil {
+		return false, err
+	}
+	chased, err := ChaseFDs(t1, operand, fds)
+	if err != nil {
+		return false, err
+	}
+	return t2.HomomorphismTo(chased)
+}
+
+// EquivalentUnderFDs decides equivalence under the FDs.
+func EquivalentUnderFDs(q1, q2 algebra.Expr, operand string, fds []FD) (bool, error) {
+	le, err := ContainedUnderFDs(q1, q2, operand, fds)
+	if err != nil || !le {
+		return false, err
+	}
+	return ContainedUnderFDs(q2, q1, operand, fds)
+}
+
+func singleOperand(q algebra.Expr, operand string) error {
+	ops := q.Operands()
+	if len(ops) != 1 || ops[0] != operand {
+		return fmt.Errorf("deps: query must reference exactly the operand %q, got %v", operand, ops)
+	}
+	return nil
+}
+
+// LosslessJoin decides, via the chase, whether decomposing a relation over
+// `scheme` into the given component schemes is lossless under the FDs:
+// the decomposition is lossless iff ∗π_{Yᵢ}(R) = R for every R over
+// `scheme` satisfying the FDs, iff chase_Σ(tableau(∗π_{Yᵢ}(T))) maps
+// homomorphically into the single-row tableau of T — equivalently, iff
+// the join query is equivalent to the identity under Σ. This generalizes
+// the binary LosslessSplit test to any number of components.
+func LosslessJoin(scheme relation.Scheme, fds []FD, components []relation.Scheme) (bool, error) {
+	jd := JD{Components: components}
+	if err := jd.Validate(scheme); err != nil {
+		return false, err
+	}
+	const operand = "T"
+	op, err := algebra.NewOperand(operand, scheme)
+	if err != nil {
+		return false, err
+	}
+	args := make([]algebra.Expr, len(components))
+	for i, c := range components {
+		p, err := algebra.NewProject(c, op)
+		if err != nil {
+			return false, err
+		}
+		args[i] = p
+	}
+	joinQ, err := algebra.JoinAll(args...)
+	if err != nil {
+		return false, err
+	}
+	identity, err := algebra.NewProject(scheme, op)
+	if err != nil {
+		return false, err
+	}
+	// R ⊆ ∗π(R) always; lossless means the reverse under Σ.
+	return ContainedUnderFDs(joinQ, identity, operand, fds)
+}

@@ -1,0 +1,163 @@
+package deps
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"relquery/internal/relation"
+)
+
+func TestPairwiseConsistent(t *testing.T) {
+	r1 := mkrel(t, "A B", "1 x", "2 y")
+	r2 := mkrel(t, "B C", "x p", "y q")
+	ok, err := PairwiseConsistent([]*relation.Relation{r1, r2})
+	if err != nil || !ok {
+		t.Errorf("consistent pair: %v %v", ok, err)
+	}
+	// r3 mentions B value "z" that r1 lacks.
+	r3 := mkrel(t, "B C", "x p", "z q")
+	ok, err = PairwiseConsistent([]*relation.Relation{r1, r3})
+	if err != nil || ok {
+		t.Errorf("inconsistent pair: %v %v", ok, err)
+	}
+	// Disjoint schemes are vacuously pairwise consistent... unless one is
+	// empty and the other not: π_∅ distinguishes empty from nonempty.
+	r4 := mkrel(t, "D", "7")
+	ok, err = PairwiseConsistent([]*relation.Relation{r1, r4})
+	if err != nil || !ok {
+		t.Errorf("disjoint pair: %v %v", ok, err)
+	}
+	empty := relation.New(relation.MustScheme("E"))
+	ok, err = PairwiseConsistent([]*relation.Relation{r1, empty})
+	if err != nil || ok {
+		t.Errorf("nonempty vs empty should be inconsistent (no universal instance): %v %v", ok, err)
+	}
+}
+
+func TestConsistentAcyclic(t *testing.T) {
+	// Acyclic and pairwise consistent: globally consistent.
+	r1 := mkrel(t, "A B", "1 x", "2 y")
+	r2 := mkrel(t, "B C", "x p", "y q")
+	ok, err := Consistent([]*relation.Relation{r1, r2})
+	if err != nil || !ok {
+		t.Errorf("Consistent = %v, %v", ok, err)
+	}
+	u, ok, err := UniversalInstance([]*relation.Relation{r1, r2})
+	if err != nil || !ok {
+		t.Fatalf("UniversalInstance: %v %v", ok, err)
+	}
+	// The witness projects back onto both relations.
+	p1, err := u.Project(r1.Scheme())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p1.Equal(r1) {
+		t.Errorf("witness projection differs from R1")
+	}
+}
+
+func TestConsistentCyclicCounterexample(t *testing.T) {
+	// The classic triangle: pairwise consistent but globally inconsistent.
+	// Each pair of relations agrees on shared columns, yet no single
+	// relation over {A,B,C} projects onto all three.
+	ab := mkrel(t, "A B", "0 0", "1 1")
+	bc := mkrel(t, "B C", "0 1", "1 0")
+	ca := mkrel(t, "C A", "0 0", "1 1")
+	rels := []*relation.Relation{ab, bc, ca}
+	pw, err := PairwiseConsistent(rels)
+	if err != nil || !pw {
+		t.Fatalf("triangle should be pairwise consistent: %v %v", pw, err)
+	}
+	ok, err := Consistent(rels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("triangle reported globally consistent")
+	}
+	if _, witness, err := UniversalInstance(rels); err != nil || witness {
+		t.Errorf("UniversalInstance = %v, %v", witness, err)
+	}
+}
+
+func TestConsistentEmptyInput(t *testing.T) {
+	ok, err := Consistent(nil)
+	if err != nil || !ok {
+		t.Errorf("Consistent(nil) = %v, %v", ok, err)
+	}
+	u, ok, err := UniversalInstance(nil)
+	if err != nil || !ok || u == nil {
+		t.Errorf("UniversalInstance(nil) = %v %v %v", u, ok, err)
+	}
+}
+
+// TestQuickProjectionsAlwaysConsistent: projections of one relation are
+// always globally consistent (the source relation is a witness... its join
+// may be larger, but HLY's criterion uses the join, which still projects
+// back correctly).
+func TestQuickProjectionsAlwaysConsistent(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		scheme := relation.MustScheme("A", "B", "C")
+		r := relation.New(scheme)
+		alphabet := []string{"0", "1"}
+		for i, n := 0, 1+rng.Intn(8); i < n; i++ {
+			tp := make(relation.Tuple, 3)
+			for j := range tp {
+				tp[j] = relation.Value(alphabet[rng.Intn(2)])
+			}
+			r.MustAdd(tp)
+		}
+		p1, err := r.Project(relation.MustScheme("A", "B"))
+		if err != nil {
+			return false
+		}
+		p2, err := r.Project(relation.MustScheme("B", "C"))
+		if err != nil {
+			return false
+		}
+		ok, err := Consistent([]*relation.Relation{p1, p2})
+		return err == nil && ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickAcyclicPairwiseImpliesGlobal checks the Beeri–Fagin–Maier–
+// Yannakakis direction on random acyclic (chain-schemed) databases:
+// pairwise consistency implies global consistency.
+func TestQuickAcyclicPairwiseImpliesGlobal(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r1 := relation.New(relation.MustScheme("A", "B"))
+		r2 := relation.New(relation.MustScheme("B", "C"))
+		vals := []string{"0", "1", "2"}
+		for i, n := 0, rng.Intn(8); i < n; i++ {
+			r1.MustAdd(relation.TupleOf(vals[rng.Intn(3)], vals[rng.Intn(3)]))
+		}
+		for i, n := 0, rng.Intn(8); i < n; i++ {
+			r2.MustAdd(relation.TupleOf(vals[rng.Intn(3)], vals[rng.Intn(3)]))
+		}
+		rels := []*relation.Relation{r1, r2}
+		pw, err := PairwiseConsistent(rels)
+		if err != nil {
+			return false
+		}
+		global, err := Consistent(rels)
+		if err != nil {
+			return false
+		}
+		if pw && !global {
+			return false // acyclic: pairwise must imply global
+		}
+		if global && !pw {
+			return false // global always implies pairwise
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

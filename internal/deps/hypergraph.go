@@ -1,0 +1,316 @@
+package deps
+
+import (
+	"fmt"
+
+	"relquery/internal/algebra"
+	"relquery/internal/join"
+	"relquery/internal/relation"
+	"relquery/internal/tableau"
+)
+
+// Hypergraph is the scheme hypergraph of a join query: one hyperedge per
+// joined relation scheme.
+type Hypergraph struct {
+	Edges []relation.Scheme
+}
+
+// JoinTree is the output of a successful GYO reduction: Parent[i] is the
+// index of edge i's parent (the edge that witnessed its removal as an
+// ear), or -1 for the root. Order is the ear-removal order, ending with
+// the root; visiting Order[0], Order[1], … therefore performs a
+// leaf-to-root semijoin sweep.
+type JoinTree struct {
+	Parent []int
+	Order  []int
+}
+
+// IsAcyclic reports whether the hypergraph is α-acyclic, via the
+// Graham–Yu–Özsoyoğlu (GYO) reduction: repeatedly (1) delete attributes
+// that occur in exactly one edge, and (2) delete edges contained in
+// another edge, recording the container as the parent. The hypergraph is
+// acyclic iff everything reduces away. When acyclic, the returned JoinTree
+// drives Yannakakis' algorithm.
+func (h Hypergraph) IsAcyclic() (bool, *JoinTree) {
+	n := len(h.Edges)
+	if n == 0 {
+		return true, &JoinTree{}
+	}
+	// Work on mutable attribute sets.
+	edges := make([]map[relation.Attribute]bool, n)
+	for i, e := range h.Edges {
+		edges[i] = make(map[relation.Attribute]bool, e.Len())
+		for _, a := range e.Attrs() {
+			edges[i][a] = true
+		}
+	}
+	alive := make([]bool, n)
+	for i := range alive {
+		alive[i] = true
+	}
+	tree := &JoinTree{Parent: make([]int, n)}
+	for i := range tree.Parent {
+		tree.Parent[i] = -1
+	}
+	aliveCount := n
+
+	for aliveCount > 1 {
+		progressed := false
+
+		// Rule 1: remove attributes occurring in exactly one live edge.
+		count := make(map[relation.Attribute]int)
+		for i, e := range edges {
+			if !alive[i] {
+				continue
+			}
+			for a := range e {
+				count[a]++
+			}
+		}
+		for i, e := range edges {
+			if !alive[i] {
+				continue
+			}
+			for a := range e {
+				if count[a] == 1 {
+					delete(e, a)
+					progressed = true
+				}
+			}
+		}
+
+		// Rule 2: remove edges contained in another live edge.
+		for i := 0; i < n && aliveCount > 1; i++ {
+			if !alive[i] {
+				continue
+			}
+			for j := 0; j < n; j++ {
+				if i == j || !alive[j] {
+					continue
+				}
+				if containsSet(edges[j], edges[i]) {
+					alive[i] = false
+					aliveCount--
+					tree.Parent[i] = j
+					tree.Order = append(tree.Order, i)
+					progressed = true
+					break
+				}
+			}
+		}
+
+		if !progressed {
+			return false, nil
+		}
+	}
+	// The last live edge is the root.
+	for i := range alive {
+		if alive[i] {
+			tree.Order = append(tree.Order, i)
+		}
+	}
+	return true, tree
+}
+
+// containsSet reports whether sub ⊆ super.
+func containsSet(super, sub map[relation.Attribute]bool) bool {
+	if len(sub) > len(super) {
+		return false
+	}
+	for a := range sub {
+		if !super[a] {
+			return false
+		}
+	}
+	return true
+}
+
+// Semijoin computes r ⋉ s: the tuples of r that join with at least one
+// tuple of s. It delegates to the join package's implementation.
+func Semijoin(r, s *relation.Relation) (*relation.Relation, error) {
+	return join.Semijoin(r, s)
+}
+
+// FullReduce runs Yannakakis' full reducer over an acyclic join: a
+// leaf-to-root semijoin sweep followed by a root-to-leaf sweep, after
+// which every tuple of every relation participates in at least one join
+// result (global consistency). It reports an error when the relations'
+// scheme hypergraph is cyclic.
+func FullReduce(rels []*relation.Relation) ([]*relation.Relation, error) {
+	h := Hypergraph{Edges: make([]relation.Scheme, len(rels))}
+	for i, r := range rels {
+		h.Edges[i] = r.Scheme()
+	}
+	acyclic, tree := h.IsAcyclic()
+	if !acyclic {
+		return nil, fmt.Errorf("deps: full reduction requires an acyclic join (schemes %v)", h.Edges)
+	}
+	out := make([]*relation.Relation, len(rels))
+	copy(out, rels)
+
+	// Leaf to root: parent ⋉ child, in removal order.
+	for _, i := range tree.Order {
+		p := tree.Parent[i]
+		if p < 0 {
+			continue
+		}
+		reduced, err := Semijoin(out[p], out[i])
+		if err != nil {
+			return nil, err
+		}
+		out[p] = reduced
+	}
+	// Root to leaf: child ⋉ parent, in reverse order.
+	for k := len(tree.Order) - 1; k >= 0; k-- {
+		i := tree.Order[k]
+		p := tree.Parent[i]
+		if p < 0 {
+			continue
+		}
+		reduced, err := Semijoin(out[i], out[p])
+		if err != nil {
+			return nil, err
+		}
+		out[i] = reduced
+	}
+	return out, nil
+}
+
+// AcyclicJoin evaluates the natural join of an acyclic collection of
+// relations with Yannakakis' algorithm: full reduction, then joins along
+// the join tree from leaves to root. After full reduction every
+// intermediate join result joins losslessly with the remaining relations,
+// so intermediate sizes are bounded by |output| · max |input| instead of
+// exploding. It reports an error when the scheme hypergraph is cyclic.
+func AcyclicJoin(rels []*relation.Relation) (*relation.Relation, error) {
+	if len(rels) == 0 {
+		return nil, fmt.Errorf("deps: AcyclicJoin of zero relations")
+	}
+	reduced, err := FullReduce(rels)
+	if err != nil {
+		return nil, err
+	}
+	h := Hypergraph{Edges: make([]relation.Scheme, len(rels))}
+	for i, r := range rels {
+		h.Edges[i] = r.Scheme()
+	}
+	_, tree := h.IsAcyclic()
+	// Join children into parents, leaves first.
+	acc := make([]*relation.Relation, len(reduced))
+	copy(acc, reduced)
+	root := -1
+	for _, i := range tree.Order {
+		p := tree.Parent[i]
+		if p < 0 {
+			root = i
+			continue
+		}
+		joined, err := acc[p].Join(acc[i])
+		if err != nil {
+			return nil, err
+		}
+		acc[p] = joined
+	}
+	if root < 0 {
+		return nil, fmt.Errorf("deps: internal error: join tree has no root")
+	}
+	return acc[root], nil
+}
+
+// HoldsIn reports whether the relation satisfies the join dependency:
+// ∗π_{Y_i}(R) = R. Since R ⊆ ∗π_{Y_i}(R) always holds (every tuple of R
+// rejoins from its own projections), only the reverse containment is
+// checked. For acyclic JDs the check runs in polynomial time via
+// Yannakakis evaluation; for cyclic JDs it streams the join of projections
+// through a tableau search, hunting for a recombined tuple outside R —
+// space stays bounded, but time may be exponential: the problem is
+// co-NP-complete in general, as the paper (after Maier–Sagiv–Yannakakis)
+// proves.
+func (jd JD) HoldsIn(r *relation.Relation) (bool, error) {
+	holds, _, err := jd.Check(r)
+	return holds, err
+}
+
+// Check is HoldsIn returning, on failure, a witness tuple of
+// ∗π_{Y_i}(R) \ R over r's scheme.
+func (jd JD) Check(r *relation.Relation) (holds bool, witness relation.Tuple, err error) {
+	if err := jd.Validate(r.Scheme()); err != nil {
+		return false, nil, err
+	}
+	if acyclic, _ := jd.Hypergraph().IsAcyclic(); acyclic {
+		projections := make([]*relation.Relation, len(jd.Components))
+		for i, c := range jd.Components {
+			p, err := r.Project(c)
+			if err != nil {
+				return false, nil, err
+			}
+			projections[i] = p
+		}
+		joined, err := AcyclicJoin(projections)
+		if err != nil {
+			return false, nil, err
+		}
+		// |∗π(R)| ≥ |R| always; a size excess means some tuple is new.
+		if joined.Len() == r.Len() {
+			return true, nil, nil
+		}
+		aligned, err := joined.Project(r.Scheme())
+		if err != nil {
+			return false, nil, err
+		}
+		diff, err := aligned.Difference(r)
+		if err != nil {
+			return false, nil, err
+		}
+		return false, diff.Tuple(0), nil
+	}
+	return jd.checkCyclic(r)
+}
+
+// checkCyclic streams the join of projections via a tableau valuation
+// search, stopping at the first recombined tuple outside r.
+func (jd JD) checkCyclic(r *relation.Relation) (bool, relation.Tuple, error) {
+	const operand = "R"
+	op, err := algebra.NewOperand(operand, r.Scheme())
+	if err != nil {
+		return false, nil, err
+	}
+	args := make([]algebra.Expr, len(jd.Components))
+	for i, c := range jd.Components {
+		p, err := algebra.NewProject(c, op)
+		if err != nil {
+			return false, nil, err
+		}
+		args[i] = p
+	}
+	join, err := algebra.JoinAll(args...)
+	if err != nil {
+		return false, nil, err
+	}
+	tb, err := tableau.New(join)
+	if err != nil {
+		return false, nil, err
+	}
+	db := relation.Single(operand, r)
+	// The join's target scheme is set-equal to r's scheme (the JD's
+	// components cover it) but may order columns differently; witnesses
+	// are realigned to r's column order before being returned.
+	var witness relation.Tuple
+	err = tb.Stream(db, func(tp relation.Tuple) bool {
+		nt := relation.NamedTuple{Scheme: tb.Target, Vals: tp}
+		if !r.ContainsNamed(nt) {
+			aligned, perr := nt.Project(r.Scheme())
+			if perr == nil {
+				witness = aligned.Vals
+			} else {
+				witness = tp.Clone()
+			}
+			return false
+		}
+		return true
+	})
+	if err != nil {
+		return false, nil, err
+	}
+	return witness == nil, witness, nil
+}

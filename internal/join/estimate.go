@@ -1,0 +1,113 @@
+package join
+
+import (
+	"relquery/internal/relation"
+)
+
+// Cardinality estimation in the classic System R style: the estimated size
+// of a natural join is the product of the input sizes divided, for each
+// shared attribute, by the larger of the two distinct-value counts —
+// assuming uniformity and inclusion, the textbook selectivity model.
+
+// ColumnStats holds per-attribute distinct-value counts for one relation.
+type ColumnStats struct {
+	// Rows is the relation's cardinality.
+	Rows int
+	// Distinct maps each attribute to its number of distinct values.
+	Distinct map[relation.Attribute]int
+}
+
+// Analyze computes column statistics for a relation in one pass.
+func Analyze(r *relation.Relation) ColumnStats {
+	s := ColumnStats{
+		Rows:     r.Len(),
+		Distinct: make(map[relation.Attribute]int, r.Scheme().Len()),
+	}
+	scheme := r.Scheme()
+	sets := make([]map[relation.Value]struct{}, scheme.Len())
+	for i := range sets {
+		sets[i] = make(map[relation.Value]struct{})
+	}
+	r.Each(func(t relation.Tuple) bool {
+		for i, v := range t {
+			sets[i][v] = struct{}{}
+		}
+		return true
+	})
+	for i := 0; i < scheme.Len(); i++ {
+		s.Distinct[scheme.Attr(i)] = len(sets[i])
+	}
+	return s
+}
+
+// EstimateJoinSize predicts |l ∗ r| from the two relations' statistics and
+// schemes: |l|·|r| / ∏_{a shared} max(V(a,l), V(a,r)).
+func EstimateJoinSize(lScheme relation.Scheme, l ColumnStats, rScheme relation.Scheme, r ColumnStats) float64 {
+	est := float64(l.Rows) * float64(r.Rows)
+	shared := lScheme.Intersect(rScheme)
+	for _, a := range shared.Attrs() {
+		vl, vr := l.Distinct[a], r.Distinct[a]
+		if vl < vr {
+			vl = vr
+		}
+		if vl > 1 {
+			est /= float64(vl)
+		}
+	}
+	return est
+}
+
+// PlanEstimated orders an n-ary join greedily by ESTIMATED intermediate
+// size (instead of Greedy's actual-size product): repeatedly join the pair
+// with the smallest estimate, preferring pairs that share attributes. It
+// returns the join result; stats (optional) records actual intermediate
+// sizes so callers can compare prediction against reality.
+func PlanEstimated(inputs []*relation.Relation, alg Algorithm, stats *Stats) (*relation.Relation, error) {
+	if len(inputs) == 0 {
+		return Multi(inputs, alg, Greedy, stats) // delegate the error
+	}
+	pending := make([]*relation.Relation, len(inputs))
+	copy(pending, inputs)
+	pstats := make([]ColumnStats, len(inputs))
+	for i, r := range pending {
+		pstats[i] = Analyze(r)
+	}
+	for len(pending) > 1 {
+		bi, bj := pickPairEstimated(pending, pstats)
+		joined, err := alg.Join(pending[bi], pending[bj])
+		if err != nil {
+			return nil, err
+		}
+		stats.observe(joined)
+		pending = append(pending[:bj], pending[bj+1:]...)
+		pstats = append(pstats[:bj], pstats[bj+1:]...)
+		pending[bi] = joined
+		pstats[bi] = Analyze(joined)
+	}
+	return pending[0], nil
+}
+
+// pickPairEstimated chooses the pair with the smallest estimated join
+// size, preferring shared-attribute pairs over cross products.
+func pickPairEstimated(rels []*relation.Relation, stats []ColumnStats) (int, int) {
+	bestI, bestJ := 0, 1
+	bestShared := false
+	bestCost := -1.0
+	for i := 0; i < len(rels); i++ {
+		for j := i + 1; j < len(rels); j++ {
+			shared := !rels[i].Scheme().Disjoint(rels[j].Scheme())
+			cost := EstimateJoinSize(rels[i].Scheme(), stats[i], rels[j].Scheme(), stats[j])
+			better := false
+			switch {
+			case shared && !bestShared:
+				better = true
+			case shared == bestShared && (bestCost < 0 || cost < bestCost):
+				better = true
+			}
+			if better {
+				bestI, bestJ, bestShared, bestCost = i, j, shared, cost
+			}
+		}
+	}
+	return bestI, bestJ
+}

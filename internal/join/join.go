@@ -1,0 +1,253 @@
+// Package join provides natural-join algorithms (nested-loop, hash,
+// sort-merge) and an n-ary join executor with a greedy planner, together
+// with execution statistics.
+//
+// The statistics exist because the paper's central phenomenon is that the
+// *intermediate* results of a project–join expression can be inherently,
+// exponentially larger than both the input relation and the final result
+// (Cosmadakis 1983, Introduction). Stats.MaxIntermediate makes that
+// blow-up measurable; experiment E7 plots it.
+package join
+
+import (
+	"fmt"
+	"sort"
+
+	"relquery/internal/relation"
+)
+
+// Algorithm computes the natural join of two relations.
+type Algorithm interface {
+	// Name identifies the algorithm in stats and CLI flags.
+	Name() string
+	// Join returns l ∗ r.
+	Join(l, r *relation.Relation) (*relation.Relation, error)
+}
+
+// ByName returns the algorithm with the given name ("hash", "sortmerge",
+// "nestedloop").
+func ByName(name string) (Algorithm, error) {
+	switch name {
+	case "hash":
+		return Hash{}, nil
+	case "sortmerge":
+		return SortMerge{}, nil
+	case "nestedloop":
+		return NestedLoop{}, nil
+	default:
+		return nil, fmt.Errorf("join: unknown algorithm %q (want hash, sortmerge or nestedloop)", name)
+	}
+}
+
+// Names lists the available algorithm names.
+func Names() []string { return []string{"hash", "sortmerge", "nestedloop"} }
+
+// combiner precomputes how to stitch a matching (left, right) tuple pair
+// into a tuple over the join's output scheme: all of left's columns, then
+// right's columns that are not shared.
+type combiner struct {
+	out     relation.Scheme
+	restPos []int // positions in the right scheme
+}
+
+func newCombiner(l, r relation.Scheme) combiner {
+	out := l.Union(r)
+	rest := r.Minus(l)
+	pos := make([]int, rest.Len())
+	for i := 0; i < rest.Len(); i++ {
+		j, _ := r.Pos(rest.Attr(i))
+		pos[i] = j
+	}
+	return combiner{out: out, restPos: pos}
+}
+
+func (c combiner) combine(left, right relation.Tuple) relation.Tuple {
+	t := make(relation.Tuple, 0, c.out.Len())
+	t = append(t, left...)
+	for _, j := range c.restPos {
+		t = append(t, right[j])
+	}
+	return t
+}
+
+// keyExtractor pulls the shared-attribute key out of a tuple.
+type keyExtractor struct {
+	pos []int
+}
+
+func newKeyExtractor(s, shared relation.Scheme) keyExtractor {
+	pos := make([]int, shared.Len())
+	for i := 0; i < shared.Len(); i++ {
+		j, _ := s.Pos(shared.Attr(i))
+		pos[i] = j
+	}
+	return keyExtractor{pos: pos}
+}
+
+func (k keyExtractor) key(t relation.Tuple) string {
+	sub := make(relation.Tuple, len(k.pos))
+	for i, j := range k.pos {
+		sub[i] = t[j]
+	}
+	return sub.Key()
+}
+
+func (k keyExtractor) values(t relation.Tuple) relation.Tuple {
+	sub := make(relation.Tuple, len(k.pos))
+	for i, j := range k.pos {
+		sub[i] = t[j]
+	}
+	return sub
+}
+
+// NestedLoop is the textbook O(|l|·|r|) join. It is the reference
+// implementation the other algorithms are tested against.
+type NestedLoop struct{}
+
+// Name implements Algorithm.
+func (NestedLoop) Name() string { return "nestedloop" }
+
+// Join implements Algorithm.
+func (NestedLoop) Join(l, r *relation.Relation) (*relation.Relation, error) {
+	shared := l.Scheme().Intersect(r.Scheme())
+	kl := newKeyExtractor(l.Scheme(), shared)
+	kr := newKeyExtractor(r.Scheme(), shared)
+	c := newCombiner(l.Scheme(), r.Scheme())
+	out := relation.New(c.out)
+	var err error
+	l.Each(func(lt relation.Tuple) bool {
+		lk := kl.key(lt)
+		r.Each(func(rt relation.Tuple) bool {
+			if kr.key(rt) == lk {
+				if _, err = out.Add(c.combine(lt, rt)); err != nil {
+					return false
+				}
+			}
+			return true
+		})
+		return err == nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Hash is a classic build/probe hash join on the shared attributes,
+// building on the smaller input.
+type Hash struct{}
+
+// Name implements Algorithm.
+func (Hash) Name() string { return "hash" }
+
+// Join implements Algorithm.
+func (Hash) Join(l, r *relation.Relation) (*relation.Relation, error) {
+	shared := l.Scheme().Intersect(r.Scheme())
+	kl := newKeyExtractor(l.Scheme(), shared)
+	kr := newKeyExtractor(r.Scheme(), shared)
+	c := newCombiner(l.Scheme(), r.Scheme())
+	out := relation.New(c.out)
+
+	if l.Len() <= r.Len() {
+		table := make(map[string][]relation.Tuple, l.Len())
+		l.Each(func(lt relation.Tuple) bool {
+			k := kl.key(lt)
+			table[k] = append(table[k], lt)
+			return true
+		})
+		var err error
+		r.Each(func(rt relation.Tuple) bool {
+			for _, lt := range table[kr.key(rt)] {
+				if _, err = out.Add(c.combine(lt, rt)); err != nil {
+					return false
+				}
+			}
+			return true
+		})
+		if err != nil {
+			return nil, err
+		}
+		return out, nil
+	}
+
+	table := make(map[string][]relation.Tuple, r.Len())
+	r.Each(func(rt relation.Tuple) bool {
+		k := kr.key(rt)
+		table[k] = append(table[k], rt)
+		return true
+	})
+	var err error
+	l.Each(func(lt relation.Tuple) bool {
+		for _, rt := range table[kl.key(lt)] {
+			if _, err = out.Add(c.combine(lt, rt)); err != nil {
+				return false
+			}
+		}
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// SortMerge sorts both inputs on the shared-attribute key and merges
+// matching groups.
+type SortMerge struct{}
+
+// Name implements Algorithm.
+func (SortMerge) Name() string { return "sortmerge" }
+
+// Join implements Algorithm.
+func (SortMerge) Join(l, r *relation.Relation) (*relation.Relation, error) {
+	shared := l.Scheme().Intersect(r.Scheme())
+	kl := newKeyExtractor(l.Scheme(), shared)
+	kr := newKeyExtractor(r.Scheme(), shared)
+	c := newCombiner(l.Scheme(), r.Scheme())
+	out := relation.New(c.out)
+
+	type keyed struct {
+		key relation.Tuple
+		t   relation.Tuple
+	}
+	collect := func(rel *relation.Relation, ke keyExtractor) []keyed {
+		rows := make([]keyed, 0, rel.Len())
+		rel.Each(func(t relation.Tuple) bool {
+			rows = append(rows, keyed{key: ke.values(t), t: t})
+			return true
+		})
+		sort.Slice(rows, func(i, j int) bool { return rows[i].key.Less(rows[j].key) })
+		return rows
+	}
+	ls := collect(l, kl)
+	rs := collect(r, kr)
+
+	i, j := 0, 0
+	for i < len(ls) && j < len(rs) {
+		switch {
+		case ls[i].key.Less(rs[j].key):
+			i++
+		case rs[j].key.Less(ls[i].key):
+			j++
+		default:
+			// Find the extent of the equal-key groups on both sides.
+			i2 := i
+			for i2 < len(ls) && ls[i2].key.Equal(ls[i].key) {
+				i2++
+			}
+			j2 := j
+			for j2 < len(rs) && rs[j2].key.Equal(rs[j].key) {
+				j2++
+			}
+			for a := i; a < i2; a++ {
+				for b := j; b < j2; b++ {
+					if _, err := out.Add(c.combine(ls[a].t, rs[b].t)); err != nil {
+						return nil, err
+					}
+				}
+			}
+			i, j = i2, j2
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,171 @@
+package join
+
+import (
+	"fmt"
+
+	"relquery/internal/relation"
+)
+
+// Stats accumulates execution statistics across a (possibly n-ary) join.
+// Because the paper's hardness proofs all work by making intermediate
+// results explode, MaxIntermediate is the headline number.
+type Stats struct {
+	// Joins is the number of binary joins performed.
+	Joins int
+	// MaxIntermediate is the largest cardinality of any relation produced
+	// while executing (including the final result).
+	MaxIntermediate int
+	// IntermediateTuples is the total number of tuples across all
+	// intermediate results (including the final result).
+	IntermediateTuples int
+}
+
+func (s *Stats) observe(r *relation.Relation) {
+	if s == nil {
+		return
+	}
+	s.Joins++
+	if r.Len() > s.MaxIntermediate {
+		s.MaxIntermediate = r.Len()
+	}
+	s.IntermediateTuples += r.Len()
+}
+
+// Observe records an externally produced intermediate relation (used by the
+// algebra evaluator for projection nodes).
+func (s *Stats) Observe(r *relation.Relation) {
+	if s == nil {
+		return
+	}
+	if r.Len() > s.MaxIntermediate {
+		s.MaxIntermediate = r.Len()
+	}
+	s.IntermediateTuples += r.Len()
+}
+
+// String renders the statistics compactly.
+func (s *Stats) String() string {
+	return fmt.Sprintf("joins=%d max_intermediate=%d intermediate_tuples=%d",
+		s.Joins, s.MaxIntermediate, s.IntermediateTuples)
+}
+
+// Order decides the sequence in which an n-ary join combines its inputs.
+type Order int
+
+const (
+	// Sequential joins the inputs left to right as written — the paper's
+	// literal reading of R₁ ∗ R₂ ∗ … ∗ R_k. Used by experiment E7 to expose
+	// the inherent intermediate blow-up.
+	Sequential Order = iota
+	// Greedy repeatedly joins the pair whose schemes share attributes and
+	// whose size product is smallest, falling back to the globally smallest
+	// product when only cross products remain. A simple but effective
+	// heuristic planner.
+	Greedy
+)
+
+// String returns the order's flag name.
+func (o Order) String() string {
+	switch o {
+	case Sequential:
+		return "sequential"
+	case Greedy:
+		return "greedy"
+	default:
+		return fmt.Sprintf("Order(%d)", int(o))
+	}
+}
+
+// OrderByName parses an Order from its flag name.
+func OrderByName(name string) (Order, error) {
+	switch name {
+	case "sequential":
+		return Sequential, nil
+	case "greedy":
+		return Greedy, nil
+	default:
+		return 0, fmt.Errorf("join: unknown order %q (want sequential or greedy)", name)
+	}
+}
+
+// Multi computes the natural join of all inputs using alg for each binary
+// join, combining in the given order. Stats, when non-nil, accumulates
+// execution statistics. Joining zero relations is an error (the neutral
+// element — the relation over the empty scheme holding the empty tuple —
+// is almost never what a caller wants); joining one relation returns it
+// unchanged.
+func Multi(inputs []*relation.Relation, alg Algorithm, order Order, stats *Stats) (*relation.Relation, error) {
+	switch len(inputs) {
+	case 0:
+		return nil, fmt.Errorf("join: Multi requires at least one input")
+	case 1:
+		stats.Observe(inputs[0])
+		return inputs[0], nil
+	}
+	switch order {
+	case Sequential:
+		return multiSequential(inputs, alg, stats)
+	case Greedy:
+		return multiGreedy(inputs, alg, stats)
+	default:
+		return nil, fmt.Errorf("join: unknown order %v", order)
+	}
+}
+
+func multiSequential(inputs []*relation.Relation, alg Algorithm, stats *Stats) (*relation.Relation, error) {
+	acc := inputs[0]
+	for _, next := range inputs[1:] {
+		var err error
+		acc, err = alg.Join(acc, next)
+		if err != nil {
+			return nil, err
+		}
+		stats.observe(acc)
+	}
+	return acc, nil
+}
+
+func multiGreedy(inputs []*relation.Relation, alg Algorithm, stats *Stats) (*relation.Relation, error) {
+	pending := make([]*relation.Relation, len(inputs))
+	copy(pending, inputs)
+
+	for len(pending) > 1 {
+		bi, bj := pickPair(pending)
+		joined, err := alg.Join(pending[bi], pending[bj])
+		if err != nil {
+			return nil, err
+		}
+		stats.observe(joined)
+		// Remove bj first (bj > bi), then replace bi.
+		pending = append(pending[:bj], pending[bj+1:]...)
+		pending[bi] = joined
+	}
+	return pending[0], nil
+}
+
+// pickPair chooses the next pair to join: among pairs whose schemes share
+// at least one attribute, the one with the smallest size product; if no
+// pair shares attributes, the overall smallest product (an unavoidable
+// cross product). Returns indices with i < j.
+func pickPair(rels []*relation.Relation) (int, int) {
+	bestI, bestJ := 0, 1
+	bestShared := false
+	bestCost := -1
+	for i := 0; i < len(rels); i++ {
+		for j := i + 1; j < len(rels); j++ {
+			shared := !rels[i].Scheme().Disjoint(rels[j].Scheme())
+			cost := rels[i].Len() * rels[j].Len()
+			better := false
+			switch {
+			case shared && !bestShared:
+				better = true
+			case shared == bestShared && (bestCost < 0 || cost < bestCost):
+				better = true
+			}
+			if better {
+				bestI, bestJ, bestShared, bestCost = i, j, shared, cost
+			}
+		}
+	}
+	return bestI, bestJ
+}

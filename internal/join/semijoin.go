@@ -1,0 +1,108 @@
+package join
+
+import (
+	"relquery/internal/relation"
+)
+
+// Semijoin computes r ⋉ s: the tuples of r that join with at least one
+// tuple of s on their shared attributes. When the schemes are disjoint,
+// the result is r itself if s is nonempty and empty otherwise.
+func Semijoin(r, s *relation.Relation) (*relation.Relation, error) {
+	shared := r.Scheme().Intersect(s.Scheme())
+	keyR, err := projectionKeys(r.Scheme(), shared)
+	if err != nil {
+		return nil, err
+	}
+	keyS, err := projectionKeys(s.Scheme(), shared)
+	if err != nil {
+		return nil, err
+	}
+	keys := make(map[string]struct{}, s.Len())
+	s.Each(func(t relation.Tuple) bool {
+		keys[keyS(t)] = struct{}{}
+		return true
+	})
+	out := relation.New(r.Scheme())
+	var addErr error
+	r.Each(func(t relation.Tuple) bool {
+		if _, ok := keys[keyR(t)]; ok {
+			if _, err := out.Add(t); err != nil {
+				addErr = err
+				return false
+			}
+		}
+		return true
+	})
+	if addErr != nil {
+		return nil, addErr
+	}
+	return out, nil
+}
+
+// projectionKeys builds a closure mapping a tuple to the encoding of its
+// projection onto `onto`.
+func projectionKeys(src, onto relation.Scheme) (func(relation.Tuple) string, error) {
+	pos := make([]int, onto.Len())
+	for i := 0; i < onto.Len(); i++ {
+		p, ok := src.Pos(onto.Attr(i))
+		if !ok {
+			return nil, errAttrMissing(onto.Attr(i), src)
+		}
+		pos[i] = p
+	}
+	return func(t relation.Tuple) string {
+		sub := make(relation.Tuple, len(pos))
+		for i, p := range pos {
+			sub[i] = t[p]
+		}
+		return sub.Key()
+	}, nil
+}
+
+func errAttrMissing(a relation.Attribute, s relation.Scheme) error {
+	return &attrError{attr: a, scheme: s}
+}
+
+type attrError struct {
+	attr   relation.Attribute
+	scheme relation.Scheme
+}
+
+func (e *attrError) Error() string {
+	return "join: attribute " + string(e.attr) + " not in scheme " + e.scheme.String()
+}
+
+// ReduceFixpoint runs pairwise semijoin reduction to fixpoint: every
+// relation is repeatedly semijoined against every other until nothing
+// shrinks. The reduction is sound for any join (a removed tuple joins with
+// nothing on some shared scheme, so it cannot contribute to the result)
+// but complete only for acyclic joins — deps.FullReduce is the two-sweep
+// version with that guarantee. It returns the reduced relations and the
+// number of passes performed.
+func ReduceFixpoint(rels []*relation.Relation) ([]*relation.Relation, int, error) {
+	out := make([]*relation.Relation, len(rels))
+	copy(out, rels)
+	passes := 0
+	for {
+		passes++
+		changed := false
+		for i := range out {
+			for j := range out {
+				if i == j || out[i].Scheme().Disjoint(out[j].Scheme()) {
+					continue
+				}
+				reduced, err := Semijoin(out[i], out[j])
+				if err != nil {
+					return nil, passes, err
+				}
+				if reduced.Len() < out[i].Len() {
+					out[i] = reduced
+					changed = true
+				}
+			}
+		}
+		if !changed {
+			return out, passes, nil
+		}
+	}
+}

@@ -1,0 +1,109 @@
+package qbf
+
+import (
+	"fmt"
+
+	"relquery/internal/cnf"
+)
+
+// Proposition 4 of the paper shows Q-3SAT stays Π₂ᵖ-complete under two
+// technical restrictions needed by the Theorem 4/5 reductions:
+//
+//	(R1) X is not contained in V_j for any clause F_j
+//	     (V_j is the variable set of F_j), and
+//	(R2) X contains no V_j.
+//
+// R1 is enforced by adding two fresh clauses (v₁+v₂+v₃)(v₄+v₅+v₆) and
+// extending X with {v₁, v₄}: no single clause contains both. If R2 fails
+// — some clause's variables are all universal — the instance is trivially
+// false, because the universal player can falsify that clause outright
+// (clause variables are distinct, so the all-literals-false assignment
+// exists).
+
+// CheckRestrictions reports whether the instance satisfies R1 and R2.
+func CheckRestrictions(inst *Instance) (r1, r2 bool, err error) {
+	if err := inst.Validate(); err != nil {
+		return false, false, err
+	}
+	uni := make(map[int]bool, len(inst.Universal))
+	for _, v := range inst.Universal {
+		uni[v] = true
+	}
+	r1, r2 = true, true
+	for _, c := range inst.G.Clauses {
+		vars := c.Vars()
+		inClause := make(map[int]bool, len(vars))
+		allUniversal := true
+		for _, v := range vars {
+			inClause[v] = true
+			if !uni[v] {
+				allUniversal = false
+			}
+		}
+		if allUniversal && len(vars) > 0 {
+			r2 = false
+		}
+		containsX := len(inst.Universal) > 0
+		for _, v := range inst.Universal {
+			if !inClause[v] {
+				containsX = false
+				break
+			}
+		}
+		if containsX {
+			r1 = false
+		}
+	}
+	return r1, r2, nil
+}
+
+// EnforceResult is the outcome of Proposition 4 preprocessing.
+type EnforceResult struct {
+	// Instance is the transformed, restriction-satisfying instance. Nil
+	// when Decided is true.
+	Instance *Instance
+	// Decided reports that preprocessing already determined the answer
+	// (R2 violation makes the instance trivially false).
+	Decided bool
+	// Holds is the answer when Decided.
+	Holds bool
+}
+
+// Enforce applies Proposition 4: it returns either an equivalent instance
+// satisfying both restrictions, or the instance's (trivial) answer. The
+// transformation preserves the value of ∀X ∃X' G: the added clauses are
+// over fresh variables, each satisfiable under every assignment to
+// {v₁, v₄} by choosing the remaining fresh variables appropriately.
+func Enforce(inst *Instance) (EnforceResult, error) {
+	if err := inst.Validate(); err != nil {
+		return EnforceResult{}, err
+	}
+	_, r2, err := CheckRestrictions(inst)
+	if err != nil {
+		return EnforceResult{}, err
+	}
+	if !r2 {
+		// Some clause is entirely universal: the universal player
+		// falsifies it, so the ∀∃ sentence is false.
+		return EnforceResult{Decided: true, Holds: false}, nil
+	}
+	g := inst.G.Clone()
+	base := g.NumVars
+	g.NumVars += 6
+	g.Clauses = append(g.Clauses,
+		cnf.Clause{cnf.Lit(base + 1), cnf.Lit(base + 2), cnf.Lit(base + 3)},
+		cnf.Clause{cnf.Lit(base + 4), cnf.Lit(base + 5), cnf.Lit(base + 6)},
+	)
+	out := &Instance{
+		G:         g,
+		Universal: append(append([]int(nil), inst.Universal...), base+1, base+4),
+	}
+	r1, r2, err := CheckRestrictions(out)
+	if err != nil {
+		return EnforceResult{}, err
+	}
+	if !r1 || !r2 {
+		return EnforceResult{}, fmt.Errorf("qbf: internal error: Enforce failed to establish restrictions (r1=%v r2=%v)", r1, r2)
+	}
+	return EnforceResult{Instance: out}, nil
+}

@@ -1,0 +1,149 @@
+// Package qbf decides Q-3SAT, the Π₂ᵖ-complete problem the paper reduces
+// from in Theorems 4 and 5:
+//
+//	given a 3CNF G and a partition of its variables into X and X',
+//	does ∀X ∃X' G(X, X') hold?
+//
+// The decision procedure is the honest exhaustive one — loop over all
+// assignments to the universal variables and call a SAT solver on each
+// restriction (a simulated NP oracle), exiting early on the first
+// counterexample. The package also implements Proposition 4's technical
+// restrictions: the paper's reductions require that X is not contained in
+// any clause's variable set and contains no clause's variable set.
+package qbf
+
+import (
+	"fmt"
+	"sort"
+
+	"relquery/internal/cnf"
+	"relquery/internal/sat"
+)
+
+// MaxUniversal bounds the exhaustive ∀-loop.
+const MaxUniversal = 30
+
+// Instance is a Q-3SAT instance: ∀X ∃X' G, where X is Universal and X' is
+// every other variable of G.
+type Instance struct {
+	// G is the matrix, a 3CNF formula.
+	G *cnf.Formula
+	// Universal is the set X of universally quantified variables
+	// (1-indexed, distinct, each in 1..G.NumVars).
+	Universal []int
+}
+
+// Validate checks the instance's well-formedness.
+func (inst *Instance) Validate() error {
+	if inst.G == nil {
+		return fmt.Errorf("qbf: nil formula")
+	}
+	seen := make(map[int]bool, len(inst.Universal))
+	for _, v := range inst.Universal {
+		if v < 1 || v > inst.G.NumVars {
+			return fmt.Errorf("qbf: universal variable x%d out of range 1..%d", v, inst.G.NumVars)
+		}
+		if seen[v] {
+			return fmt.Errorf("qbf: duplicate universal variable x%d", v)
+		}
+		seen[v] = true
+	}
+	return nil
+}
+
+// Existential returns the variables of G not in X, sorted.
+func (inst *Instance) Existential() []int {
+	uni := make(map[int]bool, len(inst.Universal))
+	for _, v := range inst.Universal {
+		uni[v] = true
+	}
+	var out []int
+	for v := 1; v <= inst.G.NumVars; v++ {
+		if !uni[v] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// String renders the instance as "∀{x1,x2} ∃rest (…)".
+func (inst *Instance) String() string {
+	vars := append([]int(nil), inst.Universal...)
+	sort.Ints(vars)
+	s := "forall{"
+	for i, v := range vars {
+		if i > 0 {
+			s += ","
+		}
+		s += fmt.Sprintf("x%d", v)
+	}
+	return s + "} exists{rest} " + inst.G.String()
+}
+
+// Result is the outcome of deciding an instance.
+type Result struct {
+	// Holds reports whether ∀X ∃X' G is true.
+	Holds bool
+	// Counterexample, when Holds is false, is an assignment to the
+	// universal variables under which G is unsatisfiable. Values of
+	// non-universal variables in it are meaningless (false).
+	Counterexample cnf.Assignment
+	// OracleCalls counts SAT-solver invocations — the simulated NP-oracle
+	// budget of the Π₂ᵖ machine.
+	OracleCalls int
+}
+
+// Solve decides the instance by exhaustive ∀-loop with a DPLL oracle.
+func Solve(inst *Instance) (Result, error) {
+	return SolveWith(inst, sat.DPLL{})
+}
+
+// SolveWith decides the instance using the given SAT solver as the NP
+// oracle.
+func SolveWith(inst *Instance, oracle sat.Solver) (Result, error) {
+	if err := inst.Validate(); err != nil {
+		return Result{}, err
+	}
+	if len(inst.Universal) > MaxUniversal {
+		return Result{}, fmt.Errorf("qbf: exhaustive loop limited to %d universal variables, instance has %d", MaxUniversal, len(inst.Universal))
+	}
+	res := Result{Holds: true}
+	universal := append([]int(nil), inst.Universal...)
+	sort.Ints(universal)
+	total := uint64(1) << uint(len(universal))
+	for mask := uint64(0); mask < total; mask++ {
+		restricted := restrict(inst.G, universal, mask)
+		res.OracleCalls++
+		satisfiable, _, err := oracle.Solve(restricted)
+		if err != nil {
+			return Result{}, err
+		}
+		if !satisfiable {
+			res.Holds = false
+			cex := cnf.NewAssignment(inst.G.NumVars)
+			for i, v := range universal {
+				cex.Set(v, mask&(1<<uint(i)) != 0)
+			}
+			res.Counterexample = cex
+			return res, nil
+		}
+		if total == 0 {
+			break
+		}
+	}
+	return res, nil
+}
+
+// restrict returns G with the universal variables pinned by mask: a copy
+// of G extended with one unit clause per universal variable.
+func restrict(g *cnf.Formula, universal []int, mask uint64) *cnf.Formula {
+	out := g.Clone()
+	for i, v := range universal {
+		l := cnf.Lit(v)
+		if mask&(1<<uint(i)) == 0 {
+			l = l.Neg()
+		}
+		out.Clauses = append(out.Clauses, cnf.Clause{l})
+	}
+	return out
+}

@@ -1,0 +1,133 @@
+package reduction
+
+import (
+	"strings"
+	"testing"
+
+	"relquery/internal/cnf"
+	"relquery/internal/qbf"
+)
+
+func TestBuildRequiresAllVarsUsed(t *testing.T) {
+	// Variable x6 occurs in no clause.
+	g := cnf.MustNew(6, cnf.PaperExample().Clauses...)
+	_, err := New(g)
+	if err == nil || !strings.Contains(err.Error(), "Compact") {
+		t.Fatalf("err = %v, want pointer to cnf.Compact", err)
+	}
+	compacted, _ := cnf.Compact(g)
+	if _, err := New(compacted); err != nil {
+		t.Fatalf("compacted formula rejected: %v", err)
+	}
+}
+
+func TestTheorem2RejectsBadFormulas(t *testing.T) {
+	short := cnf.MustNew(3, cnf.C(1, 2, 3))
+	if _, err := Theorem2(short, cnf.PaperExample()); err == nil {
+		t.Error("short G accepted")
+	}
+	if _, err := Theorem2(cnf.PaperExample(), short); err == nil {
+		t.Error("short G' accepted")
+	}
+}
+
+func TestTheorem2PadsEqualSizes(t *testing.T) {
+	g := cnf.PaperExample()
+	inst, err := Theorem2(g, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inst.Beta >= inst.BetaPrime {
+		t.Errorf("padding failed: β=%d β'=%d", inst.Beta, inst.BetaPrime)
+	}
+	if inst.D1 > inst.D2 || inst.Exact < inst.D1 || inst.Exact > inst.D2 {
+		t.Errorf("window malformed: [%d,%d] exact=%d", inst.D1, inst.D2, inst.Exact)
+	}
+}
+
+func TestTheorem4RejectsUnpreparedInstances(t *testing.T) {
+	g := cnf.PaperExample()
+	// R1 violation: X ⊆ V1.
+	if _, err := Theorem4(&qbf.Instance{G: g, Universal: []int{1, 2}}); err == nil {
+		t.Error("R1-violating instance accepted")
+	}
+	// Empty X.
+	if _, err := Theorem4(&qbf.Instance{G: g}); err == nil {
+		t.Error("empty X accepted")
+	}
+	// Unused variable in the matrix.
+	g6 := cnf.MustNew(6, g.Clauses...)
+	if _, err := Theorem4(&qbf.Instance{G: g6, Universal: []int{1, 5}}); err == nil {
+		t.Error("unused-variable matrix accepted")
+	}
+}
+
+func TestTheorem5RejectsR2Violations(t *testing.T) {
+	g := cnf.PaperExample()
+	// X ⊇ V1 = {1,2,3} but not contained in any clause: R2 fails, R1 holds.
+	inst := &qbf.Instance{G: g, Universal: []int{1, 2, 3, 5}}
+	if _, err := Theorem5(inst); err == nil {
+		t.Error("R2-violating instance accepted by Theorem 5")
+	}
+	// Theorem 4 does not need R2 and must accept it.
+	if _, err := Theorem4(inst); err != nil {
+		t.Errorf("Theorem 4 rejected an R1-satisfying instance: %v", err)
+	}
+}
+
+func TestPrepareQ3SATPropagatesValidation(t *testing.T) {
+	if _, _, _, err := PrepareQ3SAT(&qbf.Instance{G: cnf.PaperExample(), Universal: []int{9}}); err == nil {
+		t.Error("invalid universal variable accepted")
+	}
+}
+
+func TestConjecturedResultShape(t *testing.T) {
+	inst, err := Theorem1(cnf.PaperExample(), cnf.PaperExample())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// r_{G,G'} = (π_Y(R_G) ∪ {u_G}) × π_{Y'}(R_{G'}) has (m+2)(m'+1) rows.
+	want := (3 + 2) * (3 + 1)
+	if inst.Conjectured.Len() != want {
+		t.Errorf("|r| = %d, want %d", inst.Conjectured.Len(), want)
+	}
+	// The conjectured scheme is Y ∪ Y'.
+	if !inst.Conjectured.Scheme().Equal(inst.Phi.Scheme()) {
+		t.Errorf("conjectured scheme %v differs from φ target %v",
+			inst.Conjectured.Scheme(), inst.Phi.Scheme())
+	}
+	// Database holds the single combined relation.
+	db := inst.Database()
+	if _, err := db.Get(inst.OperandName); err != nil {
+		t.Error(err)
+	}
+	if inst.R.Len() != 22*22 {
+		t.Errorf("|R_G * R_G'| = %d, want %d", inst.R.Len(), 22*22)
+	}
+}
+
+func TestVariantDatabaseAndSchemes(t *testing.T) {
+	c, err := NewVariant(cnf.PaperExample(), WithFalsifiersAndU)
+	if err != nil {
+		t.Fatal(err)
+	}
+	phi2, err := c.PhiGWithU()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every clause projection of φ₂ includes U.
+	if !strings.Contains(phi2.String(), "U](T)") {
+		t.Errorf("φ₂ missing U in projections: %s", phi2)
+	}
+	// φ₂'s target includes U; φ₁'s does not.
+	phi1, err := c.PhiG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if phi1.Scheme().Has(c.UAttr()) {
+		t.Error("φ₁ target includes U")
+	}
+	if !phi2.Scheme().Has(c.UAttr()) {
+		t.Error("φ₂ target missing U")
+	}
+}

@@ -1,0 +1,202 @@
+package reduction
+
+import (
+	"fmt"
+
+	"relquery/internal/algebra"
+	"relquery/internal/cnf"
+	"relquery/internal/qbf"
+	"relquery/internal/relation"
+)
+
+// Theorems 4 and 5 reduce Q-3SAT (∀X ∃X′ G) to query comparison over a
+// fixed relation (two expressions) and to relation comparison under a
+// fixed query (two relations), respectively. Both require Proposition 4's
+// technical restrictions; see ValidateQ3SAT.
+
+// ValidateQ3SAT checks that the instance meets the preconditions of the
+// Theorem 4/5 constructions:
+//
+//   - the matrix is in the paper's reduction form,
+//   - X is nonempty,
+//   - every variable occurs in some clause (the paper's formulas mention
+//     all their variables by definition; a variable in no clause would
+//     leave its X column identically e and break Lemma 1's accounting),
+//   - restriction R1 (X ⊄ V_j for all j), and, when needR2 is set,
+//   - restriction R2 (V_j ⊄ X for all j).
+//
+// qbf.Enforce, plus dropping vacuous universal variables, establishes all
+// of these without changing the instance's truth value.
+func ValidateQ3SAT(inst *qbf.Instance, needR2 bool) error {
+	if err := inst.G.CheckReductionForm(); err != nil {
+		return err
+	}
+	if err := inst.Validate(); err != nil {
+		return err
+	}
+	if len(inst.Universal) == 0 {
+		return fmt.Errorf("reduction: Q-3SAT instance has empty universal set X")
+	}
+	if !inst.G.AllVarsUsed() {
+		return fmt.Errorf("reduction: every variable must occur in some clause; apply PrepareQ3SAT or cnf.Compact first")
+	}
+	r1, r2, err := qbf.CheckRestrictions(inst)
+	if err != nil {
+		return err
+	}
+	if !r1 {
+		return fmt.Errorf("reduction: restriction R1 violated: X is contained in some clause's variables (apply qbf.Enforce first)")
+	}
+	if needR2 && !r2 {
+		return fmt.Errorf("reduction: restriction R2 violated: some clause's variables are all universal (apply qbf.Enforce first)")
+	}
+	return nil
+}
+
+// PrepareQ3SAT brings an arbitrary Q-3SAT instance into reduction form:
+// it compacts away variables that occur in no clause (quantifying over a
+// variable the matrix never mentions is vacuous, so dropping it — whether
+// universal or existential — preserves the truth value) and applies
+// Proposition 4's transformation. The returned instance satisfies
+// ValidateQ3SAT with needR2; when the preprocessing already decides the
+// answer (R2 violation ⇒ false), decided is true.
+func PrepareQ3SAT(inst *qbf.Instance) (prepared *qbf.Instance, decided, holds bool, err error) {
+	if err := inst.Validate(); err != nil {
+		return nil, false, false, err
+	}
+	compacted, remap := cnf.Compact(inst.G)
+	kept := make([]int, 0, len(inst.Universal))
+	for _, v := range inst.Universal {
+		if nv, ok := remap[v]; ok {
+			kept = append(kept, nv)
+		}
+	}
+	res, err := qbf.Enforce(&qbf.Instance{G: compacted, Universal: kept})
+	if err != nil {
+		return nil, false, false, err
+	}
+	if res.Decided {
+		return nil, true, res.Holds, nil
+	}
+	if err := ValidateQ3SAT(res.Instance, true); err != nil {
+		return nil, false, false, fmt.Errorf("reduction: internal error: prepared instance invalid: %w", err)
+	}
+	return res.Instance, false, false, nil
+}
+
+// Theorem4Instance is the Π₂ᵖ reduction to query comparison over a fixed
+// relation: one relation R′_G and two expressions Q₁ = π_X(φ₁),
+// Q₂ = π_X(φ₂) such that
+//
+//	∀X ∃X′ G  ⇔  Q₁(R′_G) ⊆ Q₂(R′_G)  ⇔  Q₁(R′_G) = Q₂(R′_G).
+//
+// φ₁ ignores the U column (so the falsifier rows make every assignment
+// look satisfying — "G as a tautology"); φ₂ carries U through every clause
+// projection (so falsifier rows, each with a unique U value, can never
+// join across clauses — it "picks out the satisfying truth assignments").
+// The reverse containment Q₂(R′_G) ⊆ Q₁(R′_G) holds unconditionally.
+type Theorem4Instance struct {
+	// C is the WithFalsifiersAndU construction over R′_G.
+	C *Construction
+	// Q1 and Q2 are the two queries compared over the fixed relation.
+	Q1, Q2 algebra.Expr
+	// X is the universal-variable scheme both queries project onto.
+	X relation.Scheme
+}
+
+// Theorem4 builds the instance. The Q-3SAT instance must satisfy
+// ValidateQ3SAT without R2 (use PrepareQ3SAT when unsure).
+func Theorem4(inst *qbf.Instance) (*Theorem4Instance, error) {
+	if err := ValidateQ3SAT(inst, false); err != nil {
+		return nil, err
+	}
+	c, err := NewVariant(inst.G, WithFalsifiersAndU)
+	if err != nil {
+		return nil, err
+	}
+	x, err := c.XSubScheme(sortedCopy(inst.Universal))
+	if err != nil {
+		return nil, err
+	}
+	phi1, err := c.PhiG()
+	if err != nil {
+		return nil, err
+	}
+	phi2, err := c.PhiGWithU()
+	if err != nil {
+		return nil, err
+	}
+	q1, err := algebra.NewProject(x, phi1)
+	if err != nil {
+		return nil, err
+	}
+	q2, err := algebra.NewProject(x, phi2)
+	if err != nil {
+		return nil, err
+	}
+	return &Theorem4Instance{C: c, Q1: q1, Q2: q2, X: x}, nil
+}
+
+// Database returns the instance's single-relation database.
+func (inst *Theorem4Instance) Database() relation.Database { return inst.C.Database() }
+
+// Theorem5Instance is the Π₂ᵖ reduction to relation comparison under a
+// fixed query: two relations R″_G (with falsifier rows) and R_G over the
+// same scheme, and one query Q = π_X(φ_G), such that
+//
+//	∀X ∃X′ G  ⇔  Q(R″_G) ⊆ Q(R_G)  ⇔  Q(R″_G) = Q(R_G).
+//
+// The reverse containment Q(R_G) ⊆ Q(R″_G) holds unconditionally.
+type Theorem5Instance struct {
+	// RDouble is the construction of R″_G and RPlain that of R_G; both
+	// share the scheme T and operand name, so Q applies to either.
+	RDouble, RPlain *Construction
+	// Q is the fixed query π_X(φ_G).
+	Q algebra.Expr
+	// X is the universal-variable scheme.
+	X relation.Scheme
+}
+
+// Theorem5 builds the instance. The Q-3SAT instance must satisfy
+// ValidateQ3SAT including R2 (use PrepareQ3SAT when unsure).
+func Theorem5(inst *qbf.Instance) (*Theorem5Instance, error) {
+	if err := ValidateQ3SAT(inst, true); err != nil {
+		return nil, err
+	}
+	cd, err := NewVariant(inst.G, WithFalsifiers)
+	if err != nil {
+		return nil, err
+	}
+	cp, err := New(inst.G)
+	if err != nil {
+		return nil, err
+	}
+	x, err := cp.XSubScheme(sortedCopy(inst.Universal))
+	if err != nil {
+		return nil, err
+	}
+	phi, err := cp.PhiG()
+	if err != nil {
+		return nil, err
+	}
+	q, err := algebra.NewProject(x, phi)
+	if err != nil {
+		return nil, err
+	}
+	return &Theorem5Instance{RDouble: cd, RPlain: cp, Q: q, X: x}, nil
+}
+
+// Databases returns the two single-relation databases (R″_G first).
+func (inst *Theorem5Instance) Databases() (dbDouble, dbPlain relation.Database) {
+	return inst.RDouble.Database(), inst.RPlain.Database()
+}
+
+func sortedCopy(vars []int) []int {
+	out := append([]int(nil), vars...)
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}

@@ -1,0 +1,175 @@
+package relation
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// The text format read and written here is line-oriented:
+//
+//	# comment lines and blank lines are ignored between relations
+//	relation T
+//	F1 F2 X1 S        <- scheme line: whitespace-separated attributes
+//	1  e  0  a        <- one tuple per line, whitespace-separated values
+//	e  1  1  a
+//	end
+//
+// A file may contain any number of "relation <name> ... end" blocks; a
+// bare relation (scheme line followed by tuples, no header/footer) is also
+// accepted by ReadRelation for quick one-relation files. Values and
+// attribute names are arbitrary non-whitespace tokens.
+
+// WriteRelation writes r as a single "relation <name> ... end" block.
+func WriteRelation(w io.Writer, name string, r *Relation) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "relation %s\n", name)
+	fmt.Fprintln(bw, r.Scheme().String())
+	for _, t := range r.Sorted() {
+		for i, v := range t {
+			if i > 0 {
+				bw.WriteByte(' ')
+			}
+			bw.WriteString(string(v))
+		}
+		bw.WriteByte('\n')
+	}
+	fmt.Fprintln(bw, "end")
+	return bw.Flush()
+}
+
+// WriteDatabase writes every relation of db in name order.
+func WriteDatabase(w io.Writer, db Database) error {
+	for _, name := range db.Names() {
+		if err := WriteRelation(w, name, db[name]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadDatabase parses all relation blocks from r.
+func ReadDatabase(r io.Reader) (Database, error) {
+	db := NewDatabase()
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
+	lineno := 0
+	next := func() (string, bool) {
+		for sc.Scan() {
+			lineno++
+			line := strings.TrimSpace(sc.Text())
+			if line == "" || strings.HasPrefix(line, "#") {
+				continue
+			}
+			return line, true
+		}
+		return "", false
+	}
+	for {
+		line, ok := next()
+		if !ok {
+			break
+		}
+		fields := strings.Fields(line)
+		if fields[0] != "relation" || len(fields) != 2 {
+			return nil, fmt.Errorf("relation: line %d: expected \"relation <name>\", got %q", lineno, line)
+		}
+		name := fields[1]
+		if _, dup := db[name]; dup {
+			return nil, fmt.Errorf("relation: line %d: duplicate relation %q", lineno, name)
+		}
+		schemeLine, ok := next()
+		if !ok {
+			return nil, fmt.Errorf("relation: line %d: relation %q missing scheme line", lineno, name)
+		}
+		scheme, err := SchemeOf(schemeLine)
+		if err != nil {
+			return nil, fmt.Errorf("relation: line %d: %v", lineno, err)
+		}
+		rel := New(scheme)
+		for {
+			row, ok := next()
+			if !ok {
+				return nil, fmt.Errorf("relation: relation %q not terminated by \"end\"", name)
+			}
+			if row == "end" {
+				break
+			}
+			vals := strings.Fields(row)
+			if len(vals) != scheme.Len() {
+				return nil, fmt.Errorf("relation: line %d: tuple has %d values, scheme %v has %d attributes", lineno, len(vals), scheme, scheme.Len())
+			}
+			if _, err := rel.Add(TupleOf(vals...)); err != nil {
+				return nil, fmt.Errorf("relation: line %d: %v", lineno, err)
+			}
+		}
+		db.Put(name, rel)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return db, nil
+}
+
+// ReadRelation parses a single relation. It accepts either a full
+// "relation <name> ... end" block (returning that name) or a bare relation:
+// a scheme line followed by tuple lines until EOF (returned name is "").
+func ReadRelation(r io.Reader) (name string, rel *Relation, err error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return "", nil, err
+	}
+	text := string(data)
+	// Decide on the first meaningful (non-blank, non-comment) line.
+	first := ""
+	for _, raw := range strings.Split(text, "\n") {
+		line := strings.TrimSpace(raw)
+		if line != "" && !strings.HasPrefix(line, "#") {
+			first = line
+			break
+		}
+	}
+	if strings.HasPrefix(first, "relation ") {
+		db, err := ReadDatabase(strings.NewReader(text))
+		if err != nil {
+			return "", nil, err
+		}
+		names := db.Names()
+		if len(names) != 1 {
+			return "", nil, fmt.Errorf("relation: expected exactly one relation, found %d", len(names))
+		}
+		return names[0], db[names[0]], nil
+	}
+	// Bare form.
+	lines := strings.Split(text, "\n")
+	var scheme Scheme
+	haveScheme := false
+	var out *Relation
+	for i, raw := range lines {
+		line := strings.TrimSpace(raw)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if !haveScheme {
+			scheme, err = SchemeOf(line)
+			if err != nil {
+				return "", nil, fmt.Errorf("relation: line %d: %v", i+1, err)
+			}
+			out = New(scheme)
+			haveScheme = true
+			continue
+		}
+		vals := strings.Fields(line)
+		if len(vals) != scheme.Len() {
+			return "", nil, fmt.Errorf("relation: line %d: tuple has %d values, scheme has %d attributes", i+1, len(vals), scheme.Len())
+		}
+		if _, err := out.Add(TupleOf(vals...)); err != nil {
+			return "", nil, fmt.Errorf("relation: line %d: %v", i+1, err)
+		}
+	}
+	if !haveScheme {
+		return "", nil, fmt.Errorf("relation: empty input")
+	}
+	return "", out, nil
+}

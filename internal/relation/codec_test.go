@@ -1,0 +1,139 @@
+package relation
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestCodecRoundTrip(t *testing.T) {
+	r := rel(t, "A B C", "1 e a", "0 x b", "1 1 a")
+	var buf bytes.Buffer
+	if err := WriteRelation(&buf, "T", r); err != nil {
+		t.Fatal(err)
+	}
+	name, back, err := ReadRelation(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != "T" {
+		t.Errorf("name = %q", name)
+	}
+	if !back.Equal(r) {
+		t.Errorf("round trip lost tuples:\n%s", RenderSorted(back))
+	}
+}
+
+func TestReadDatabaseMultiple(t *testing.T) {
+	input := `
+# two relations
+relation R
+A B
+1 2
+3 4
+end
+
+relation S
+B C
+2 x
+end
+`
+	db, err := ReadDatabase(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := db.Names(); len(got) != 2 || got[0] != "R" || got[1] != "S" {
+		t.Fatalf("Names = %v", got)
+	}
+	r, err := db.Get("R")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 2 {
+		t.Errorf("R.Len = %d", r.Len())
+	}
+	if _, err := db.Get("Missing"); err == nil {
+		t.Error("Get(Missing) succeeded")
+	}
+}
+
+func TestReadRelationBareForm(t *testing.T) {
+	input := `
+# bare relation, no header
+A B
+1 x
+2 y
+`
+	name, r, err := ReadRelation(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != "" {
+		t.Errorf("name = %q, want empty", name)
+	}
+	if r.Len() != 2 || r.Scheme().String() != "A B" {
+		t.Errorf("parsed %v", r)
+	}
+}
+
+func TestReadDatabaseErrors(t *testing.T) {
+	cases := []struct {
+		name  string
+		input string
+	}{
+		{"bad header", "relational R\nA B\nend\n"},
+		{"missing end", "relation R\nA B\n1 2\n"},
+		{"arity mismatch", "relation R\nA B\n1\nend\n"},
+		{"duplicate name", "relation R\nA\n1\nend\nrelation R\nA\n2\nend\n"},
+		{"missing scheme", "relation R\n"},
+		{"dup attribute", "relation R\nA A\nend\n"},
+	}
+	for _, tc := range cases {
+		if _, err := ReadDatabase(strings.NewReader(tc.input)); err == nil {
+			t.Errorf("%s: no error", tc.name)
+		}
+	}
+	if _, _, err := ReadRelation(strings.NewReader("   \n# only comments\n")); err == nil {
+		t.Error("empty input: no error")
+	}
+}
+
+func TestWriteDatabaseDeterministic(t *testing.T) {
+	db := NewDatabase()
+	db.Put("B", rel(t, "X", "1"))
+	db.Put("A", rel(t, "Y", "2"))
+	var buf bytes.Buffer
+	if err := WriteDatabase(&buf, db); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if strings.Index(out, "relation A") > strings.Index(out, "relation B") {
+		t.Error("relations not written in name order")
+	}
+	back, err := ReadDatabase(strings.NewReader(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 2 {
+		t.Errorf("round trip lost relations: %v", back.Names())
+	}
+}
+
+func TestRender(t *testing.T) {
+	r := rel(t, "F1 X1 S", "1 0 a", "e 1 b")
+	out := Render(r, RenderOptions{SortRows: true})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "F1") {
+		t.Errorf("header = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "1") { // sorted: "1 0 a" before "e 1 b"
+		t.Errorf("first row = %q", lines[1])
+	}
+	// Columns align: "0" in the first row sits under "X1" in the header.
+	if strings.Index(lines[0], "X1") != strings.Index(lines[1], "0") {
+		t.Errorf("column misaligned:\n%q\n%q", lines[0], lines[1])
+	}
+}

@@ -1,0 +1,45 @@
+package relation
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Database maps relation names to relations. It is the paper's "database
+// over a database scheme": one relation per named relation scheme. The
+// paper's hardness results all hold for single-relation databases, and the
+// reductions in internal/reduction produce single-relation databases, but
+// the evaluator supports any number of operands.
+type Database map[string]*Relation
+
+// NewDatabase returns an empty database.
+func NewDatabase() Database { return make(Database) }
+
+// Put installs relation r under the given name, replacing any previous
+// relation of that name.
+func (db Database) Put(name string, r *Relation) { db[name] = r }
+
+// Get returns the named relation, or an error naming the missing operand.
+func (db Database) Get(name string) (*Relation, error) {
+	r, ok := db[name]
+	if !ok {
+		return nil, fmt.Errorf("relation: database has no relation named %q", name)
+	}
+	return r, nil
+}
+
+// Names returns the relation names in sorted order.
+func (db Database) Names() []string {
+	names := make([]string, 0, len(db))
+	for n := range db {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Single builds a database holding exactly one relation, the common case
+// for the paper's constructions.
+func Single(name string, r *Relation) Database {
+	return Database{name: r}
+}

@@ -1,0 +1,219 @@
+package relation
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randomRelation draws a relation over the given scheme with up to maxRows
+// tuples over a small per-column alphabet, so that joins hit both matches
+// and misses.
+func randomRelation(rng *rand.Rand, scheme Scheme, maxRows int) *Relation {
+	r := New(scheme)
+	rows := rng.Intn(maxRows + 1)
+	alphabet := []string{"0", "1", "e", "x"}
+	for i := 0; i < rows; i++ {
+		t := make(Tuple, scheme.Len())
+		for j := range t {
+			t[j] = Value(alphabet[rng.Intn(len(alphabet))])
+		}
+		r.MustAdd(t)
+	}
+	return r
+}
+
+var quickCfg = &quick.Config{MaxCount: 200}
+
+func TestQuickJoinCommutative(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r := randomRelation(rng, MustScheme("A", "B"), 8)
+		o := randomRelation(rng, MustScheme("B", "C"), 8)
+		ro, err1 := r.Join(o)
+		or, err2 := o.Join(r)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return ro.Equal(or)
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickJoinAssociative(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r := randomRelation(rng, MustScheme("A", "B"), 6)
+		o := randomRelation(rng, MustScheme("B", "C"), 6)
+		p := randomRelation(rng, MustScheme("C", "D"), 6)
+		ro, err := r.Join(o)
+		if err != nil {
+			return false
+		}
+		left, err := ro.Join(p)
+		if err != nil {
+			return false
+		}
+		op, err := o.Join(p)
+		if err != nil {
+			return false
+		}
+		right, err := r.Join(op)
+		if err != nil {
+			return false
+		}
+		return left.Equal(right)
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickJoinIdempotent(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r := randomRelation(rng, MustScheme("A", "B", "C"), 10)
+		rr, err := r.Join(r)
+		if err != nil {
+			return false
+		}
+		return rr.Equal(r)
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickProjectionComposes(t *testing.T) {
+	// π_X(π_Y(r)) = π_X(r) when X ⊆ Y ⊆ scheme(r).
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r := randomRelation(rng, MustScheme("A", "B", "C", "D"), 12)
+		y := MustScheme("A", "B", "C")
+		x := MustScheme("A", "C")
+		py, err := r.Project(y)
+		if err != nil {
+			return false
+		}
+		pxy, err := py.Project(x)
+		if err != nil {
+			return false
+		}
+		px, err := r.Project(x)
+		if err != nil {
+			return false
+		}
+		return pxy.Equal(px)
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickProjectionDistributesOverUnion(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := MustScheme("A", "B", "C")
+		x := MustScheme("A", "B")
+		r := randomRelation(rng, s, 10)
+		o := randomRelation(rng, s, 10)
+		u, err := r.Union(o)
+		if err != nil {
+			return false
+		}
+		pu, err := u.Project(x)
+		if err != nil {
+			return false
+		}
+		pr, err := r.Project(x)
+		if err != nil {
+			return false
+		}
+		po, err := o.Project(x)
+		if err != nil {
+			return false
+		}
+		want, err := pr.Union(po)
+		if err != nil {
+			return false
+		}
+		return pu.Equal(want)
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickJoinProjectionsShrink(t *testing.T) {
+	// π_{scheme(r)}(r ∗ o) ⊆ r: every join tuple projects into its operands.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r := randomRelation(rng, MustScheme("A", "B"), 10)
+		o := randomRelation(rng, MustScheme("B", "C"), 10)
+		j, err := r.Join(o)
+		if err != nil {
+			return false
+		}
+		pj, err := j.Project(r.Scheme())
+		if err != nil {
+			return false
+		}
+		sub, err := pj.SubsetOf(r)
+		return err == nil && sub
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickSetLaws(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := MustScheme("A", "B")
+		r := randomRelation(rng, s, 10)
+		o := randomRelation(rng, s, 10)
+		u, err := r.Union(o)
+		if err != nil {
+			return false
+		}
+		i, err := r.Intersect(o)
+		if err != nil {
+			return false
+		}
+		d, err := r.Difference(o)
+		if err != nil {
+			return false
+		}
+		// |r ∪ o| = |r| + |o| - |r ∩ o|, and r = (r \ o) ∪ (r ∩ o).
+		if u.Len() != r.Len()+o.Len()-i.Len() {
+			return false
+		}
+		back, err := d.Union(i)
+		if err != nil {
+			return false
+		}
+		return back.Equal(r)
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickJoinSubsetOfProduct(t *testing.T) {
+	// |r ∗ o| ≤ |r|·|o| always; equality when schemes are disjoint.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r := randomRelation(rng, MustScheme("A"), 6)
+		o := randomRelation(rng, MustScheme("B"), 6)
+		j, err := r.Join(o)
+		if err != nil {
+			return false
+		}
+		return j.Len() == r.Len()*o.Len()
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,349 @@
+package relation
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Relation is a finite set of tuples over a fixed scheme. Tuples are kept
+// in insertion order for stable iteration, with a hash index enforcing set
+// semantics (adding a duplicate is a no-op).
+//
+// A Relation is not safe for concurrent mutation; concurrent reads are
+// fine.
+type Relation struct {
+	scheme Scheme
+	tuples []Tuple
+	index  map[string]int // tuple key -> position in tuples
+}
+
+// New returns an empty relation over the given scheme.
+func New(scheme Scheme) *Relation {
+	return &Relation{scheme: scheme, index: make(map[string]int)}
+}
+
+// FromTuples builds a relation over scheme containing the given tuples
+// (duplicates collapse). It reports an arity error if any tuple does not
+// match the scheme.
+func FromTuples(scheme Scheme, tuples []Tuple) (*Relation, error) {
+	r := New(scheme)
+	for _, t := range tuples {
+		if _, err := r.Add(t); err != nil {
+			return nil, err
+		}
+	}
+	return r, nil
+}
+
+// FromRows is a convenience constructor taking rows of plain strings.
+func FromRows(scheme Scheme, rows ...[]string) (*Relation, error) {
+	r := New(scheme)
+	for _, row := range rows {
+		if _, err := r.Add(TupleOf(row...)); err != nil {
+			return nil, err
+		}
+	}
+	return r, nil
+}
+
+// Scheme returns the relation's scheme.
+func (r *Relation) Scheme() Scheme { return r.scheme }
+
+// Len returns the number of tuples (the paper's |R|).
+func (r *Relation) Len() int { return len(r.tuples) }
+
+// Empty reports whether the relation has no tuples.
+func (r *Relation) Empty() bool { return len(r.tuples) == 0 }
+
+// Add inserts tuple t, returning true if it was new and false if it was
+// already present. It reports an error when the tuple's arity does not
+// match the scheme.
+func (r *Relation) Add(t Tuple) (bool, error) {
+	if len(t) != r.scheme.Len() {
+		return false, fmt.Errorf("relation: tuple %v has arity %d, scheme %v has arity %d", t, len(t), r.scheme, r.scheme.Len())
+	}
+	k := t.Key()
+	if _, ok := r.index[k]; ok {
+		return false, nil
+	}
+	r.index[k] = len(r.tuples)
+	r.tuples = append(r.tuples, t.Clone())
+	return true, nil
+}
+
+// MustAdd is Add for statically known tuples; it panics on arity errors.
+func (r *Relation) MustAdd(t Tuple) bool {
+	ok, err := r.Add(t)
+	if err != nil {
+		panic(err)
+	}
+	return ok
+}
+
+// Contains reports whether tuple t (positional, in scheme order) is in the
+// relation.
+func (r *Relation) Contains(t Tuple) bool {
+	if len(t) != r.scheme.Len() {
+		return false
+	}
+	_, ok := r.index[t.Key()]
+	return ok
+}
+
+// ContainsNamed reports whether the named tuple, which may list its
+// attributes in any order, is in the relation. It is false when the tuple's
+// scheme is not set-equal to the relation's.
+func (r *Relation) ContainsNamed(nt NamedTuple) bool {
+	if !nt.Scheme.Equal(r.scheme) {
+		return false
+	}
+	p, err := projectionOnto(nt.Scheme, r.scheme)
+	if err != nil {
+		return false
+	}
+	return r.Contains(p.apply(nt.Vals))
+}
+
+// Tuple returns the i-th tuple in insertion order. The returned slice must
+// not be modified.
+func (r *Relation) Tuple(i int) Tuple { return r.tuples[i] }
+
+// Each calls fn for every tuple in insertion order until fn returns false.
+// The tuple passed to fn must not be modified.
+func (r *Relation) Each(fn func(Tuple) bool) {
+	for _, t := range r.tuples {
+		if !fn(t) {
+			return
+		}
+	}
+}
+
+// Tuples returns a copy of the tuple list in insertion order.
+func (r *Relation) Tuples() []Tuple {
+	out := make([]Tuple, len(r.tuples))
+	for i, t := range r.tuples {
+		out[i] = t.Clone()
+	}
+	return out
+}
+
+// Sorted returns the tuples in deterministic lexicographic order.
+func (r *Relation) Sorted() []Tuple {
+	out := r.Tuples()
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+	return out
+}
+
+// Clone returns an independent copy of the relation.
+func (r *Relation) Clone() *Relation {
+	c := New(r.scheme)
+	for _, t := range r.tuples {
+		c.MustAdd(t)
+	}
+	return c
+}
+
+// alignTo returns r's tuples rewritten into the column order of target,
+// which must be set-equal to r's scheme.
+func (r *Relation) alignTo(target Scheme) (*Relation, error) {
+	if !r.scheme.Equal(target) {
+		return nil, fmt.Errorf("relation: schemes %v and %v are not set-equal", r.scheme, target)
+	}
+	if r.scheme.SameOrder(target) {
+		return r, nil
+	}
+	p, err := projectionOnto(r.scheme, target)
+	if err != nil {
+		return nil, err
+	}
+	out := New(target)
+	for _, t := range r.tuples {
+		out.MustAdd(p.apply(t))
+	}
+	return out, nil
+}
+
+// Project computes π_onto(r), the set of restrictions of r's tuples to the
+// attributes of onto (which must all belong to r's scheme).
+func (r *Relation) Project(onto Scheme) (*Relation, error) {
+	p, err := projectionOnto(r.scheme, onto)
+	if err != nil {
+		return nil, err
+	}
+	out := New(onto)
+	for _, t := range r.tuples {
+		if _, err := out.Add(p.apply(t)); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// Union returns r ∪ o over r's column order. The schemes must be set-equal.
+func (r *Relation) Union(o *Relation) (*Relation, error) {
+	ao, err := o.alignTo(r.scheme)
+	if err != nil {
+		return nil, err
+	}
+	out := r.Clone()
+	for _, t := range ao.tuples {
+		out.MustAdd(t)
+	}
+	return out, nil
+}
+
+// Intersect returns r ∩ o over r's column order. The schemes must be
+// set-equal.
+func (r *Relation) Intersect(o *Relation) (*Relation, error) {
+	ao, err := o.alignTo(r.scheme)
+	if err != nil {
+		return nil, err
+	}
+	out := New(r.scheme)
+	for _, t := range r.tuples {
+		if ao.Contains(t) {
+			out.MustAdd(t)
+		}
+	}
+	return out, nil
+}
+
+// Difference returns r \ o over r's column order. The schemes must be
+// set-equal.
+func (r *Relation) Difference(o *Relation) (*Relation, error) {
+	ao, err := o.alignTo(r.scheme)
+	if err != nil {
+		return nil, err
+	}
+	out := New(r.scheme)
+	for _, t := range r.tuples {
+		if !ao.Contains(t) {
+			out.MustAdd(t)
+		}
+	}
+	return out, nil
+}
+
+// SubsetOf reports whether every tuple of r is in o. The schemes must be
+// set-equal.
+func (r *Relation) SubsetOf(o *Relation) (bool, error) {
+	ar, err := r.alignTo(o.scheme)
+	if err != nil {
+		return false, err
+	}
+	for _, t := range ar.tuples {
+		if !o.Contains(t) {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// Equal reports whether r and o hold the same set of tuples over set-equal
+// schemes (column order is immaterial). Relations over different attribute
+// sets are never equal.
+func (r *Relation) Equal(o *Relation) bool {
+	if !r.scheme.Equal(o.scheme) || r.Len() != o.Len() {
+		return false
+	}
+	sub, err := r.SubsetOf(o)
+	return err == nil && sub
+}
+
+// Join computes the natural join r ∗ o:
+//
+//	r ∗ o = { t over scheme(r) ∪ scheme(o) : t[scheme(r)] ∈ r, t[scheme(o)] ∈ o }
+//
+// using a hash join on the shared attributes. This is the package's
+// canonical join; package join provides alternative algorithms and an
+// n-ary planner.
+func (r *Relation) Join(o *Relation) (*Relation, error) {
+	shared := r.scheme.Intersect(o.scheme)
+	outScheme := r.scheme.Union(o.scheme)
+
+	// Probe side column mapping: positions of o's attributes that are not
+	// shared, appended after r's columns in outScheme order.
+	rest := o.scheme.Minus(r.scheme)
+	restPos := make([]int, rest.Len())
+	for i := 0; i < rest.Len(); i++ {
+		j, _ := o.scheme.Pos(rest.Attr(i))
+		restPos[i] = j
+	}
+
+	keyR, err := projectionOnto(r.scheme, shared)
+	if err != nil {
+		return nil, err
+	}
+	keyO, err := projectionOnto(o.scheme, shared)
+	if err != nil {
+		return nil, err
+	}
+
+	// Build on the smaller input.
+	build, probe := r, o
+	keyBuild, keyProbe := keyR, keyO
+	buildIsLeft := true
+	if o.Len() < r.Len() {
+		build, probe = o, r
+		keyBuild, keyProbe = keyO, keyR
+		buildIsLeft = false
+	}
+
+	table := make(map[string][]Tuple, build.Len())
+	for _, t := range build.tuples {
+		k := keyBuild.apply(t).Key()
+		table[k] = append(table[k], t)
+	}
+
+	out := New(outScheme)
+	emit := func(left, right Tuple) error {
+		joined := make(Tuple, 0, outScheme.Len())
+		joined = append(joined, left...)
+		for _, j := range restPos {
+			joined = append(joined, right[j])
+		}
+		_, err := out.Add(joined)
+		return err
+	}
+	for _, t := range probe.tuples {
+		k := keyProbe.apply(t).Key()
+		for _, m := range table[k] {
+			var err error
+			if buildIsLeft {
+				err = emit(m, t) // m is from r, t from o
+			} else {
+				err = emit(t, m) // t is from r, m from o
+			}
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+	return out, nil
+}
+
+// ActiveDomain returns, for each attribute of the scheme, the set of values
+// appearing in that column, in first-appearance order. It is the value
+// universe used by the exhaustive deciders.
+func (r *Relation) ActiveDomain() map[Attribute][]Value {
+	dom := make(map[Attribute][]Value, r.scheme.Len())
+	seen := make(map[Attribute]map[Value]bool, r.scheme.Len())
+	for i := 0; i < r.scheme.Len(); i++ {
+		seen[r.scheme.Attr(i)] = make(map[Value]bool)
+	}
+	for _, t := range r.tuples {
+		for i, v := range t {
+			a := r.scheme.Attr(i)
+			if !seen[a][v] {
+				seen[a][v] = true
+				dom[a] = append(dom[a], v)
+			}
+		}
+	}
+	return dom
+}
+
+// String renders the relation as "scheme{n tuples}".
+func (r *Relation) String() string {
+	return fmt.Sprintf("%v{%d tuples}", r.scheme, r.Len())
+}

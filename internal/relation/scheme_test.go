@@ -1,0 +1,115 @@
+package relation
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNewSchemeRejectsDuplicates(t *testing.T) {
+	if _, err := NewScheme("A", "B", "A"); err == nil {
+		t.Fatal("expected duplicate-attribute error")
+	}
+	if _, err := NewScheme("A", ""); err == nil {
+		t.Fatal("expected empty-attribute error")
+	}
+}
+
+func TestSchemeOf(t *testing.T) {
+	s, err := SchemeOf("  F1 F2   X1 S ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.String(); got != "F1 F2 X1 S" {
+		t.Fatalf("String() = %q", got)
+	}
+	if s.Len() != 4 {
+		t.Fatalf("Len() = %d", s.Len())
+	}
+	if i, ok := s.Pos("X1"); !ok || i != 2 {
+		t.Fatalf("Pos(X1) = %d, %v", i, ok)
+	}
+	if s.Has("Z") {
+		t.Fatal("Has(Z) = true")
+	}
+}
+
+func TestSchemeSetSemantics(t *testing.T) {
+	ab := MustScheme("A", "B")
+	ba := MustScheme("B", "A")
+	ac := MustScheme("A", "C")
+
+	if !ab.Equal(ba) {
+		t.Error("Equal should ignore order")
+	}
+	if ab.SameOrder(ba) {
+		t.Error("SameOrder should respect order")
+	}
+	if ab.Equal(ac) {
+		t.Error("distinct attribute sets reported equal")
+	}
+	if !ab.ContainsAll(MustScheme("B")) {
+		t.Error("ContainsAll(B) = false")
+	}
+	if ab.ContainsAll(ac) {
+		t.Error("ContainsAll(AC) = true")
+	}
+	if ab.Disjoint(ba) {
+		t.Error("Disjoint with shared attrs")
+	}
+	if !ab.Disjoint(MustScheme("C", "D")) {
+		t.Error("Disjoint(CD) = false")
+	}
+}
+
+func TestSchemeAlgebra(t *testing.T) {
+	ab := MustScheme("A", "B")
+	bc := MustScheme("B", "C")
+
+	if got := ab.Union(bc).String(); got != "A B C" {
+		t.Errorf("Union = %q, want \"A B C\"", got)
+	}
+	if got := ab.Intersect(bc).String(); got != "B" {
+		t.Errorf("Intersect = %q, want \"B\"", got)
+	}
+	if got := ab.Minus(bc).String(); got != "A" {
+		t.Errorf("Minus = %q, want \"A\"", got)
+	}
+	if got := bc.Minus(ab).String(); got != "C" {
+		t.Errorf("Minus = %q, want \"C\"", got)
+	}
+	empty := MustScheme()
+	if got := empty.Union(ab).String(); got != "A B" {
+		t.Errorf("empty.Union = %q", got)
+	}
+	if n := ab.Intersect(MustScheme("C")).Len(); n != 0 {
+		t.Errorf("disjoint Intersect Len = %d", n)
+	}
+}
+
+func TestSchemeSorted(t *testing.T) {
+	s := MustScheme("X2", "F1", "A")
+	if got := s.Sorted().String(); got != "A F1 X2" {
+		t.Errorf("Sorted = %q", got)
+	}
+	// Original unchanged (immutability).
+	if got := s.String(); got != "X2 F1 A" {
+		t.Errorf("original mutated: %q", got)
+	}
+}
+
+func TestProjectionOntoMissingAttr(t *testing.T) {
+	src := MustScheme("A", "B")
+	_, err := projectionOnto(src, MustScheme("A", "Z"))
+	if err == nil || !strings.Contains(err.Error(), "Z") {
+		t.Fatalf("err = %v, want mention of Z", err)
+	}
+}
+
+func TestSchemeAttrsIsCopy(t *testing.T) {
+	s := MustScheme("A", "B")
+	attrs := s.Attrs()
+	attrs[0] = "Z"
+	if s.Attr(0) != "A" {
+		t.Fatal("Attrs() exposed internal storage")
+	}
+}

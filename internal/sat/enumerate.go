@@ -1,0 +1,62 @@
+package sat
+
+import (
+	"fmt"
+
+	"relquery/internal/cnf"
+)
+
+// Enumerate calls fn for every satisfying assignment of f, in
+// lexicographic order of the assignment vector (variable 1 varies slowest,
+// false before true). Enumeration stops early when fn returns false.
+//
+// The search assigns variables in index order and prunes as soon as a
+// clause is falsified, so it touches only the subtree containing models —
+// this is the paper's "nondeterministically guess and check" made
+// deterministic.
+func Enumerate(f *cnf.Formula, fn func(cnf.Assignment) bool) error {
+	if f.NumVars > MaxBruteVars {
+		return fmt.Errorf("sat: enumeration limited to %d variables, formula has %d", MaxBruteVars, f.NumVars)
+	}
+	s := newState(f)
+	enumerate(s, 1, fn)
+	return nil
+}
+
+// enumerate extends the assignment from variable v on; it returns false
+// when fn requested a stop.
+func enumerate(s *state, v int, fn func(cnf.Assignment) bool) bool {
+	// Prune: any clause already falsified kills the whole subtree.
+	for _, c := range s.clauses {
+		if st, _ := s.status(c); st == csFalsified {
+			return true
+		}
+	}
+	if v > s.numVars {
+		return fn(s.model())
+	}
+	for _, val := range [2]value{vFalse, vTrue} {
+		s.assign[v] = val
+		if !enumerate(s, v+1, fn) {
+			s.assign[v] = unassigned
+			return false
+		}
+	}
+	s.assign[v] = unassigned
+	return true
+}
+
+// AllModels returns every satisfying assignment of f in enumeration order.
+// The result has a(G) entries — the quantity Theorem 3 proves #P-hard to
+// compute from the query side.
+func AllModels(f *cnf.Formula) ([]cnf.Assignment, error) {
+	var out []cnf.Assignment
+	err := Enumerate(f, func(a cnf.Assignment) bool {
+		out = append(out, a.Clone())
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,364 @@
+package sat
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"relquery/internal/cnf"
+)
+
+func TestBruteForceFixed(t *testing.T) {
+	sat, model, err := BruteForce{}.Solve(cnf.PaperExample())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sat {
+		t.Fatal("paper example unsat per brute force")
+	}
+	if !cnf.PaperExample().Eval(model) {
+		t.Fatal("returned model does not satisfy")
+	}
+
+	unsat := cnf.MustNew(1, cnf.C(1), cnf.C(-1))
+	sat, _, err = BruteForce{}.Solve(unsat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sat {
+		t.Fatal("x & ~x reported satisfiable")
+	}
+}
+
+func TestBruteForceEmptyFormula(t *testing.T) {
+	f := cnf.MustNew(0)
+	sat, _, err := BruteForce{}.Solve(f)
+	if err != nil || !sat {
+		t.Fatalf("empty formula: sat=%v err=%v", sat, err)
+	}
+	big := &cnf.Formula{NumVars: 100}
+	if _, _, err := (BruteForce{}).Solve(big); err == nil {
+		t.Error("100-variable brute force accepted")
+	}
+}
+
+func TestDPLLFixed(t *testing.T) {
+	cases := []struct {
+		name string
+		f    *cnf.Formula
+		sat  bool
+	}{
+		{"paper example", cnf.PaperExample(), true},
+		{"contradiction", cnf.MustNew(1, cnf.C(1), cnf.C(-1)), false},
+		{"empty", cnf.MustNew(0), true},
+		{"single unit", cnf.MustNew(1, cnf.C(1)), true},
+		{"chain implication", cnf.MustNew(4, cnf.C(1), cnf.C(-1, 2), cnf.C(-2, 3), cnf.C(-3, 4), cnf.C(-4)), false},
+		{"pure literals only", cnf.MustNew(3, cnf.C(1, 2), cnf.C(1, 3)), true},
+		{"8-pattern core", mustUnsat8(t), false},
+	}
+	for _, tc := range cases {
+		sat, model, err := DPLL{}.Solve(tc.f)
+		if err != nil {
+			t.Errorf("%s: %v", tc.name, err)
+			continue
+		}
+		if sat != tc.sat {
+			t.Errorf("%s: sat = %v, want %v", tc.name, sat, tc.sat)
+		}
+		if sat && !tc.f.Eval(model) {
+			t.Errorf("%s: model does not satisfy", tc.name)
+		}
+	}
+}
+
+func mustUnsat8(t *testing.T) *cnf.Formula {
+	t.Helper()
+	rng := rand.New(rand.NewSource(7))
+	f, err := cnf.Unsatisfiable3CNF(rng, 3, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func randomGeneralCNF(rng *rand.Rand, n, m, maxLen int) *cnf.Formula {
+	f := &cnf.Formula{NumVars: n}
+	for j := 0; j < m; j++ {
+		k := 1 + rng.Intn(maxLen)
+		c := make(cnf.Clause, k)
+		for i := range c {
+			l := cnf.Lit(1 + rng.Intn(n))
+			if rng.Intn(2) == 0 {
+				l = l.Neg()
+			}
+			c[i] = l
+		}
+		f.Clauses = append(f.Clauses, c)
+	}
+	return f
+}
+
+func TestQuickDPLLMatchesBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(8)
+		m := rng.Intn(12)
+		formula := randomGeneralCNF(rng, n, m, 4)
+		wantSat, _, err := BruteForce{}.Solve(formula)
+		if err != nil {
+			return false
+		}
+		gotSat, model, err := DPLL{}.Solve(formula)
+		if err != nil {
+			return false
+		}
+		if gotSat != wantSat {
+			return false
+		}
+		if gotSat && !formula.Eval(model) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCountersFixed(t *testing.T) {
+	cases := []struct {
+		name string
+		f    *cnf.Formula
+		want int64
+	}{
+		{"empty formula", cnf.MustNew(3), 8},
+		{"unit", cnf.MustNew(2, cnf.C(1)), 2},
+		{"contradiction", cnf.MustNew(2, cnf.C(1), cnf.C(-1)), 0},
+		{"one 3-clause", cnf.MustNew(3, cnf.C(1, 2, 3)), 7},
+		{"two independent clauses", cnf.MustNew(6, cnf.C(1, 2, 3), cnf.C(4, 5, 6)), 49},
+		{"xor-ish", cnf.MustNew(2, cnf.C(1, 2), cnf.C(-1, -2)), 2},
+	}
+	for _, counter := range []Counter{BruteCounter{}, ComponentCounter{}} {
+		for _, tc := range cases {
+			got, err := counter.Count(tc.f)
+			if err != nil {
+				t.Errorf("%s/%s: %v", counter.Name(), tc.name, err)
+				continue
+			}
+			if got != tc.want {
+				t.Errorf("%s/%s: count = %d, want %d", counter.Name(), tc.name, got, tc.want)
+			}
+		}
+	}
+}
+
+func TestQuickCountersAgree(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(9)
+		m := rng.Intn(10)
+		formula := randomGeneralCNF(rng, n, m, 4)
+		want, err := BruteCounter{}.Count(formula)
+		if err != nil {
+			return false
+		}
+		got, err := ComponentCounter{}.Count(formula)
+		if err != nil {
+			return false
+		}
+		return got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCounterOverflowGuard(t *testing.T) {
+	big := &cnf.Formula{NumVars: 63}
+	if _, err := (ComponentCounter{}).Count(big); err == nil {
+		t.Error("63-variable count accepted")
+	}
+	if _, err := (BruteCounter{}).Count(big); err == nil {
+		t.Error("63-variable brute count accepted")
+	}
+}
+
+func TestEnumerateOrderAndCompleteness(t *testing.T) {
+	f := cnf.MustNew(3, cnf.C(1, 2, 3))
+	models, err := AllModels(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(models) != 7 {
+		t.Fatalf("models = %d, want 7", len(models))
+	}
+	// Lexicographic order of the assignment vector: 001 comes first.
+	if models[0].String() != "001" {
+		t.Errorf("first model = %q, want %q", models[0].String(), "001")
+	}
+	last := models[len(models)-1]
+	if last.String() != "111" {
+		t.Errorf("last model = %q", last.String())
+	}
+	for _, m := range models {
+		if !f.Eval(m) {
+			t.Errorf("enumerated non-model %v", m)
+		}
+	}
+}
+
+func TestEnumerateEarlyStop(t *testing.T) {
+	f := cnf.MustNew(4) // 16 models
+	count := 0
+	err := Enumerate(f, func(cnf.Assignment) bool {
+		count++
+		return count < 5
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != 5 {
+		t.Errorf("visited %d, want 5", count)
+	}
+}
+
+func TestQuickEnumerateMatchesCount(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(7)
+		m := rng.Intn(8)
+		formula := randomGeneralCNF(rng, n, m, 3)
+		want, err := BruteCounter{}.Count(formula)
+		if err != nil {
+			return false
+		}
+		models, err := AllModels(formula)
+		if err != nil {
+			return false
+		}
+		if int64(len(models)) != want {
+			return false
+		}
+		// Models must be distinct and each must satisfy.
+		seen := make(map[string]bool)
+		for _, mdl := range models {
+			if seen[mdl.String()] || !formula.Eval(mdl) {
+				return false
+			}
+			seen[mdl.String()] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSatisfiableHelper(t *testing.T) {
+	sat, model, err := Satisfiable(cnf.PaperExample())
+	if err != nil || !sat || !cnf.PaperExample().Eval(model) {
+		t.Fatalf("Satisfiable: %v %v %v", sat, model, err)
+	}
+}
+
+func TestPlantedAndUnsatFamiliesAgreeWithDPLL(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 30; trial++ {
+		f, _, err := cnf.PlantedSatisfiable3CNF(rng, 8, 25)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sat, _, err := DPLL{}.Solve(f)
+		if err != nil || !sat {
+			t.Fatalf("planted formula unsat: %v", err)
+		}
+		g, err := cnf.Unsatisfiable3CNF(rng, 8, 15)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sat, _, err = DPLL{}.Solve(g)
+		if err != nil || sat {
+			t.Fatalf("unsat family satisfiable: %v", err)
+		}
+	}
+}
+
+func TestWatchedDPLLFixed(t *testing.T) {
+	cases := []struct {
+		name string
+		f    *cnf.Formula
+		sat  bool
+	}{
+		{"paper example", cnf.PaperExample(), true},
+		{"contradiction", cnf.MustNew(1, cnf.C(1), cnf.C(-1)), false},
+		{"empty", cnf.MustNew(0), true},
+		{"single unit", cnf.MustNew(1, cnf.C(1)), true},
+		{"unit chain unsat", cnf.MustNew(4, cnf.C(1), cnf.C(-1, 2), cnf.C(-2, 3), cnf.C(-3, 4), cnf.C(-4)), false},
+		{"tautologies only", cnf.MustNew(2, cnf.C(1, -1), cnf.C(2, -2)), true},
+		{"duplicate literals", cnf.MustNew(2, cnf.C(1, 1), cnf.C(-1, 2, 2)), true},
+		{"8-pattern core", mustUnsat8(t), false},
+	}
+	for _, tc := range cases {
+		sat, model, err := WatchedDPLL{}.Solve(tc.f)
+		if err != nil {
+			t.Errorf("%s: %v", tc.name, err)
+			continue
+		}
+		if sat != tc.sat {
+			t.Errorf("%s: sat = %v, want %v", tc.name, sat, tc.sat)
+		}
+		if sat && !tc.f.Eval(model) {
+			t.Errorf("%s: model does not satisfy", tc.name)
+		}
+	}
+}
+
+func TestQuickWatchedMatchesBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(9)
+		m := rng.Intn(14)
+		formula := randomGeneralCNF(rng, n, m, 4)
+		wantSat, _, err := (BruteForce{}).Solve(formula)
+		if err != nil {
+			return false
+		}
+		gotSat, model, err := (WatchedDPLL{}).Solve(formula)
+		if err != nil {
+			return false
+		}
+		if gotSat != wantSat {
+			return false
+		}
+		if gotSat && !formula.Eval(model) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWatchedOnStructuredFamilies(t *testing.T) {
+	for holes := 1; holes <= 3; holes++ {
+		php, err := cnf.Pigeonhole(holes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sat, _, err := (WatchedDPLL{}).Solve(php)
+		if err != nil || sat {
+			t.Errorf("PHP(%d): sat=%v err=%v", holes, sat, err)
+		}
+	}
+	for n := 2; n <= 8; n++ {
+		xc, err := cnf.XorChain(n, n%2 == 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sat, model, err := (WatchedDPLL{}).Solve(xc)
+		if err != nil || !sat || !xc.Eval(model) {
+			t.Errorf("XorChain(%d): sat=%v err=%v", n, sat, err)
+		}
+	}
+}
