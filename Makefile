@@ -1,0 +1,29 @@
+GO ?= go
+
+.PHONY: build test race bench fmt ci
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# One iteration per benchmark: the same smoke run CI performs. For real
+# measurements raise -benchtime and pin -cpu.
+bench:
+	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
+
+fmt:
+	@out=$$(gofmt -l .); \
+	if [ -n "$$out" ]; then \
+		echo "files need gofmt:" >&2; \
+		echo "$$out" >&2; \
+		exit 1; \
+	fi
+	$(GO) vet ./...
+
+# Everything the CI workflow gates on, runnable locally before a push.
+ci: build fmt test race bench

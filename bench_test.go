@@ -324,6 +324,59 @@ func BenchmarkJoinAlgorithms(b *testing.B) {
 	}
 }
 
+// BenchmarkE9ParallelEval compares the sequential materializing engine
+// against the parallel engine (partitioned hash join + concurrent
+// subtree evaluation) on cnf/families gadget workloads. Expected shape:
+// parallelism 1 ≈ sequential (fallback overhead only); parallelism 8
+// ahead of sequential on both families; the cached variant ahead again
+// when the expression repeats subexpressions.
+func BenchmarkE9ParallelEval(b *testing.B) {
+	xor, err := cnf.XorChain(2, true)
+	if err != nil {
+		b.Fatal(err)
+	}
+	xor, _ = cnf.Compact(xor)
+	php, err := cnf.Pigeonhole(1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	php, _ = cnf.Compact(php)
+	for _, fam := range []struct {
+		name string
+		g    *cnf.Formula
+	}{
+		{"xorchain2", xor},
+		{"pigeonhole1", php},
+	} {
+		c := mustConstruction(b, fam.g)
+		phi, err := c.PhiG()
+		if err != nil {
+			b.Fatal(err)
+		}
+		db := c.Database()
+		for _, cfg := range []struct {
+			name string
+			opts algebra.EvalOptions
+		}{
+			{"sequential", algebra.EvalOptions{}},
+			{"parallel-1", algebra.EvalOptions{Parallelism: 1}},
+			{"parallel-8", algebra.EvalOptions{Parallelism: 8}},
+			{"parallel-8-cache", algebra.EvalOptions{Parallelism: 8, Cache: true}},
+		} {
+			b.Run(fmt.Sprintf("%s/%s", fam.name, cfg.name), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					ev := cfg.opts.NewEvaluator()
+					ev.Order = join.Greedy
+					if _, err := ev.Eval(phi, db); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
 // BenchmarkMembership measures the Proposition 2 NP membership test on the
 // gadget (tuple u_G in the projected query).
 func BenchmarkMembership(b *testing.B) {

@@ -42,6 +42,8 @@ func run(args []string) error {
 		budget    = fs.Int("budget", 0, "abort if any intermediate relation exceeds this many tuples (0 = unlimited)")
 		stats     = fs.Bool("stats", false, "print evaluation statistics to stderr")
 		countOnly = fs.Bool("count", false, "print only the result cardinality")
+		parallel  = fs.Int("parallel", 0, "worker count for the materializing engine: >1 evaluates join subtrees concurrently and uses the partitioned parallel hash join (unless -join is set explicitly); <=1 is sequential")
+		cache     = fs.Bool("cache", false, "memoize repeated subexpressions (keyed by expression text and relation fingerprint)")
 		optimize  = fs.Bool("optimize", false, "rewrite the expression (projection pushdown etc.) before evaluating")
 		explain   = fs.Bool("explain", false, "print the operator tree with actual cardinalities instead of the result")
 		contains  = fs.String("contains", "", "instead of evaluating, test whether this whitespace-separated tuple (in target-scheme order) is in the result")
@@ -137,14 +139,35 @@ func run(args []string) error {
 		if err != nil {
 			return err
 		}
+		opts := algebra.EvalOptions{Parallelism: *parallel, Cache: *cache}
+		// When the parallel engine is on and -join was left at its
+		// default, let the evaluator pick the partitioned parallel hash
+		// join; an explicit -join always wins.
+		joinFlagSet := false
+		fs.Visit(func(f *flag.Flag) {
+			if f.Name == "join" {
+				joinFlagSet = true
+			}
+		})
 		var js join.Stats
-		ev := algebra.Evaluator{Algorithm: alg, Order: order, Stats: &js, MaxIntermediate: *budget}
+		ev := algebra.Evaluator{
+			Algorithm:       alg,
+			Order:           order,
+			Stats:           &js,
+			MaxIntermediate: *budget,
+			Parallelism:     opts.Parallelism,
+			Cache:           opts.Cache,
+		}
+		if opts.Parallelism > 1 && !joinFlagSet {
+			ev.Algorithm = nil
+		}
 		result, err = ev.Eval(expr, db)
 		if err != nil {
 			return err
 		}
 		if *stats {
-			fmt.Fprintf(os.Stderr, "engine=materialize join=%s order=%s %s\n", alg.Name(), order, js.String())
+			fmt.Fprintf(os.Stderr, "engine=materialize join=%s order=%s parallel=%d cache=%v %s\n",
+				ev.AlgorithmName(), order, opts.Parallelism, opts.Cache, js.String())
 		}
 	case "tableau":
 		tb, err := tableau.New(expr)

@@ -1,0 +1,121 @@
+package algebra
+
+import (
+	"strings"
+	"sync"
+
+	"relquery/internal/relation"
+)
+
+// SubexprCache memoizes evaluated subexpressions across Eval calls. The
+// key is the canonicalized expression text plus the content fingerprints
+// (relation.Fingerprint) of every database relation the expression
+// references, so a hit is sound even when the database has been mutated
+// between calls: a changed relation changes its fingerprint and misses.
+//
+// This is what makes the repeated legs of the paper's gadget queries
+// cheap: φ_G = π_F(T) ∗ ∏*_j π_{T_j}(T) projects the same relation m+1
+// times, and every decider that re-evaluates φ_G against an unchanged
+// R_G reuses each leg instead of recomputing it.
+//
+// A SubexprCache is safe for concurrent use; the parallel evaluator's
+// workers share one. Only successful evaluations are cached (errors may
+// depend on per-call budgets). The zero value is not ready — use
+// NewSubexprCache.
+type SubexprCache struct {
+	mu      sync.Mutex
+	entries map[string]*relation.Relation
+	hits    int
+	misses  int
+}
+
+// NewSubexprCache returns an empty cache.
+func NewSubexprCache() *SubexprCache {
+	return &SubexprCache{entries: make(map[string]*relation.Relation)}
+}
+
+// key builds the cache key for evaluating e against db.
+func (c *SubexprCache) key(e Expr, db relation.Database) string {
+	var b strings.Builder
+	b.WriteString(e.String())
+	b.WriteByte('\x00')
+	b.WriteString(relation.FingerprintDatabase(db, e.Operands()))
+	return b.String()
+}
+
+// Do returns the cached result for (e, db) or computes, stores and
+// returns it. Concurrent callers with the same key may both compute (the
+// per-call memo already collapses duplicates within one evaluation); the
+// last writer wins, which is harmless because equal keys imply equal
+// results.
+func (c *SubexprCache) Do(e Expr, db relation.Database, compute func() (*relation.Relation, error)) (*relation.Relation, error) {
+	k := c.key(e, db)
+	c.mu.Lock()
+	if r, ok := c.entries[k]; ok {
+		c.hits++
+		c.mu.Unlock()
+		return r, nil
+	}
+	c.misses++
+	c.mu.Unlock()
+	r, err := compute()
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	c.entries[k] = r
+	c.mu.Unlock()
+	return r, nil
+}
+
+// Stats reports cache hits, misses and resident entries.
+func (c *SubexprCache) Stats() (hits, misses, entries int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, len(c.entries)
+}
+
+// Reset drops every entry, keeping the hit/miss counters.
+func (c *SubexprCache) Reset() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.entries = make(map[string]*relation.Relation)
+}
+
+// memoTable is the per-Eval-call memo: concurrency-safe and
+// compute-once. When two parallel workers request the same subexpression
+// the second blocks until the first finishes, so each distinct
+// subexpression is evaluated exactly once per call.
+type memoTable struct {
+	mu      sync.Mutex
+	entries map[string]*memoEntry
+}
+
+type memoEntry struct {
+	done chan struct{}
+	r    *relation.Relation
+	err  error
+}
+
+func newMemoTable() *memoTable {
+	return &memoTable{entries: make(map[string]*memoEntry)}
+}
+
+// do returns the memoized result for key, computing it via compute on
+// first request. Safe for concurrent use; deadlock-free because the
+// compute graph follows the expression tree (a computation only ever
+// waits on strictly smaller subexpressions).
+func (m *memoTable) do(key string, compute func() (*relation.Relation, error)) (*relation.Relation, error) {
+	m.mu.Lock()
+	if e, ok := m.entries[key]; ok {
+		m.mu.Unlock()
+		<-e.done
+		return e.r, e.err
+	}
+	e := &memoEntry{done: make(chan struct{})}
+	m.entries[key] = e
+	m.mu.Unlock()
+	e.r, e.err = compute()
+	close(e.done)
+	return e.r, e.err
+}

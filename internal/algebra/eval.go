@@ -2,10 +2,32 @@ package algebra
 
 import (
 	"fmt"
+	"sync"
 
 	"relquery/internal/join"
 	"relquery/internal/relation"
 )
+
+// EvalOptions is the engine-tuning knob threaded from the CLI and the
+// decide layer down to the evaluator. The zero value selects the
+// sequential engine with no caching — exactly the pre-parallel behavior.
+type EvalOptions struct {
+	// Parallelism > 1 turns on the parallel engine: independent
+	// subtrees of each join node evaluate concurrently on a worker pool
+	// of this size, and binary joins default to the partitioned parallel
+	// hash join (join.Parallel) with this many workers. Values <= 1 mean
+	// fully sequential evaluation.
+	Parallelism int
+	// Cache memoizes structurally identical subexpressions within each
+	// Eval call (see Evaluator.Cache).
+	Cache bool
+}
+
+// NewEvaluator returns an evaluator configured by the options, with
+// default join algorithm and order.
+func (o EvalOptions) NewEvaluator() *Evaluator {
+	return &Evaluator{Parallelism: o.Parallelism, Cache: o.Cache}
+}
 
 // Evaluator materializes project–join expressions against a database. The
 // zero value is ready to use: hash joins, greedy join ordering, no
@@ -32,19 +54,41 @@ type Evaluator struct {
 	// Cache, when true, memoizes structurally identical subexpressions
 	// within one Eval call (common-subexpression elimination), keyed by
 	// the rendered expression text. The memo does not outlive the call —
-	// the database may change between calls.
+	// the database may change between calls. The memo is compute-once
+	// even under parallel evaluation.
 	Cache bool
+	// Parallelism, when > 1, evaluates independent join subtrees
+	// concurrently on a worker pool of this size and makes the default
+	// join algorithm the partitioned parallel hash join
+	// (join.Parallel{Workers: Parallelism}). Results are identical to
+	// sequential evaluation: relations are sets, every operator is
+	// order-deterministic, and Stats is concurrency-safe. <= 1 means
+	// sequential — the zero value preserves pre-parallel behavior.
+	Parallelism int
+	// SharedCache, when non-nil, memoizes subexpression results across
+	// Eval calls, keyed by expression text plus the content fingerprints
+	// of the referenced relations (relation.Fingerprint), so entries
+	// survive only as long as the underlying relations are unchanged.
+	SharedCache *SubexprCache
 }
 
 // ErrBudgetExceeded is returned (wrapped) when evaluation exceeds the
 // Evaluator's MaxIntermediate budget.
 var ErrBudgetExceeded = fmt.Errorf("algebra: intermediate result exceeds evaluation budget")
 
+// AlgorithmName names the binary-join algorithm the evaluator will
+// actually use, resolving the nil default ("hash", or "parallel" when
+// Parallelism > 1).
+func (ev *Evaluator) AlgorithmName() string { return ev.algorithm().Name() }
+
 func (ev *Evaluator) algorithm() join.Algorithm {
-	if ev.Algorithm == nil {
-		return join.Hash{}
+	if ev.Algorithm != nil {
+		return ev.Algorithm
 	}
-	return ev.Algorithm
+	if ev.Parallelism > 1 {
+		return join.Parallel{Workers: ev.Parallelism}
+	}
+	return join.Hash{}
 }
 
 func (ev *Evaluator) check(r *relation.Relation) error {
@@ -58,35 +102,33 @@ func (ev *Evaluator) check(r *relation.Relation) error {
 // database: the named relation must exist and its scheme must be set-equal
 // to the operand's declared scheme.
 func (ev *Evaluator) Eval(e Expr, db relation.Database) (*relation.Relation, error) {
-	var memo map[string]*relation.Relation
+	var memo *memoTable
 	if ev.Cache {
-		memo = make(map[string]*relation.Relation)
+		memo = newMemoTable()
 	}
 	return ev.eval(e, db, memo)
 }
 
-func (ev *Evaluator) eval(e Expr, db relation.Database, memo map[string]*relation.Relation) (*relation.Relation, error) {
-	var key string
-	if memo != nil {
-		// Operands are cheap lookups; only memoize composite nodes.
-		if _, isOp := e.(*Operand); !isOp {
-			key = e.String()
-			if cached, ok := memo[key]; ok {
-				return cached, nil
-			}
+func (ev *Evaluator) eval(e Expr, db relation.Database, memo *memoTable) (*relation.Relation, error) {
+	// Operands are cheap lookups; only memoize composite nodes.
+	if _, isOp := e.(*Operand); isOp || (memo == nil && ev.SharedCache == nil) {
+		return ev.evalNode(e, db, memo)
+	}
+	compute := func() (*relation.Relation, error) {
+		if ev.SharedCache != nil {
+			return ev.SharedCache.Do(e, db, func() (*relation.Relation, error) {
+				return ev.evalNode(e, db, memo)
+			})
 		}
+		return ev.evalNode(e, db, memo)
 	}
-	out, err := ev.evalNode(e, db, memo)
-	if err != nil {
-		return nil, err
+	if memo != nil {
+		return memo.do(e.String(), compute)
 	}
-	if memo != nil && key != "" {
-		memo[key] = out
-	}
-	return out, nil
+	return compute()
 }
 
-func (ev *Evaluator) evalNode(e Expr, db relation.Database, memo map[string]*relation.Relation) (*relation.Relation, error) {
+func (ev *Evaluator) evalNode(e Expr, db relation.Database, memo *memoTable) (*relation.Relation, error) {
 	switch x := e.(type) {
 	case *Operand:
 		r, err := db.Get(x.Name())
@@ -115,13 +157,9 @@ func (ev *Evaluator) evalNode(e Expr, db relation.Database, memo map[string]*rel
 		return out, nil
 
 	case *Join:
-		args := make([]*relation.Relation, len(x.Args()))
-		for i, a := range x.Args() {
-			r, err := ev.eval(a, db, memo)
-			if err != nil {
-				return nil, err
-			}
-			args[i] = r
+		args, err := ev.evalArgs(x.Args(), db, memo)
+		if err != nil {
+			return nil, err
 		}
 		out, err := ev.multi(args)
 		if err != nil {
@@ -132,6 +170,45 @@ func (ev *Evaluator) evalNode(e Expr, db relation.Database, memo map[string]*rel
 	default:
 		return nil, fmt.Errorf("algebra: unknown expression type %T", e)
 	}
+}
+
+// evalArgs evaluates a join node's argument subtrees — concurrently on a
+// worker pool of ev.Parallelism when the parallel engine is on, else in
+// order. The pool bounds this node's fan-out; nested join nodes each get
+// their own pool, so total goroutines can exceed Parallelism briefly,
+// but every worker makes progress (the memo's waiting is well-founded on
+// the expression tree) so there is no deadlock.
+func (ev *Evaluator) evalArgs(exprs []Expr, db relation.Database, memo *memoTable) ([]*relation.Relation, error) {
+	args := make([]*relation.Relation, len(exprs))
+	if ev.Parallelism <= 1 || len(exprs) < 2 {
+		for i, a := range exprs {
+			r, err := ev.eval(a, db, memo)
+			if err != nil {
+				return nil, err
+			}
+			args[i] = r
+		}
+		return args, nil
+	}
+	sem := make(chan struct{}, ev.Parallelism)
+	errs := make([]error, len(exprs))
+	var wg sync.WaitGroup
+	for i, a := range exprs {
+		wg.Add(1)
+		go func(i int, a Expr) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			args[i], errs[i] = ev.eval(a, db, memo)
+		}(i, a)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return args, nil
 }
 
 // multi joins args, aborting mid-plan as soon as any binary join result

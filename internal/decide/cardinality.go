@@ -104,13 +104,10 @@ func streamDistinct(phi algebra.Expr, db relation.Database, stopAt int, b Budget
 
 // CountMaterialized computes |φ(db)| by materializing with the algebra
 // evaluator — the naive comparison point for the benchmarks. It uses the
-// evaluator's default join strategy.
+// evaluator's default sequential join strategy; CountMaterializedWith
+// exposes the parallel engine.
 func CountMaterialized(phi algebra.Expr, db relation.Database) (int, error) {
-	r, err := algebra.Eval(phi, db)
-	if err != nil {
-		return 0, err
-	}
-	return r.Len(), nil
+	return CountMaterializedWith(phi, db, algebra.EvalOptions{})
 }
 
 var _ = relation.Tuple(nil) // keep relation import for doc references

@@ -1,0 +1,33 @@
+package decide
+
+import (
+	"relquery/internal/algebra"
+	"relquery/internal/relation"
+)
+
+// The materializing entry points below are the decide layer's bridge to
+// the algebra engine. Unlike the streaming procedures in this package
+// (whose space stays polynomial), these compute φ(db) by actually
+// joining, so they inherit the paper's exponential intermediate blow-up
+// — but they are the routes that benefit from algebra.EvalOptions:
+// parallel partitioned joins, parallel subtree fan-out and subexpression
+// caching.
+
+// MaterializeJoin computes φ(db) with the materializing algebra engine
+// configured by opts. The zero EvalOptions reproduces the sequential
+// engine exactly; opts.Parallelism > 1 runs the partitioned parallel
+// engine, which produces an identical relation (set semantics make the
+// result order-independent).
+func MaterializeJoin(phi algebra.Expr, db relation.Database, opts algebra.EvalOptions) (*relation.Relation, error) {
+	return opts.NewEvaluator().Eval(phi, db)
+}
+
+// CountMaterializedWith computes |φ(db)| by materializing with the
+// algebra engine configured by opts.
+func CountMaterializedWith(phi algebra.Expr, db relation.Database, opts algebra.EvalOptions) (int, error) {
+	r, err := MaterializeJoin(phi, db, opts)
+	if err != nil {
+		return 0, err
+	}
+	return r.Len(), nil
+}

@@ -25,7 +25,7 @@ type Algorithm interface {
 }
 
 // ByName returns the algorithm with the given name ("hash", "sortmerge",
-// "nestedloop").
+// "nestedloop", "parallel").
 func ByName(name string) (Algorithm, error) {
 	switch name {
 	case "hash":
@@ -34,13 +34,15 @@ func ByName(name string) (Algorithm, error) {
 		return SortMerge{}, nil
 	case "nestedloop":
 		return NestedLoop{}, nil
+	case "parallel":
+		return Parallel{}, nil
 	default:
-		return nil, fmt.Errorf("join: unknown algorithm %q (want hash, sortmerge or nestedloop)", name)
+		return nil, fmt.Errorf("join: unknown algorithm %q (want hash, sortmerge, nestedloop or parallel)", name)
 	}
 }
 
 // Names lists the available algorithm names.
-func Names() []string { return []string{"hash", "sortmerge", "nestedloop"} }
+func Names() []string { return []string{"hash", "sortmerge", "nestedloop", "parallel"} }
 
 // combiner precomputes how to stitch a matching (left, right) tuple pair
 // into a tuple over the join's output scheme: all of left's columns, then

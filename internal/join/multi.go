@@ -2,6 +2,7 @@ package join
 
 import (
 	"fmt"
+	"sync"
 
 	"relquery/internal/relation"
 )
@@ -9,7 +10,12 @@ import (
 // Stats accumulates execution statistics across a (possibly n-ary) join.
 // Because the paper's hardness proofs all work by making intermediate
 // results explode, MaxIntermediate is the headline number.
+//
+// A Stats is safe for concurrent observation, so one instance can be
+// shared across the parallel evaluator's workers. Read the counters only
+// after evaluation finishes (or via Snapshot).
 type Stats struct {
+	mu sync.Mutex
 	// Joins is the number of binary joins performed.
 	Joins int
 	// MaxIntermediate is the largest cardinality of any relation produced
@@ -24,6 +30,8 @@ func (s *Stats) observe(r *relation.Relation) {
 	if s == nil {
 		return
 	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	s.Joins++
 	if r.Len() > s.MaxIntermediate {
 		s.MaxIntermediate = r.Len()
@@ -37,16 +45,26 @@ func (s *Stats) Observe(r *relation.Relation) {
 	if s == nil {
 		return
 	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if r.Len() > s.MaxIntermediate {
 		s.MaxIntermediate = r.Len()
 	}
 	s.IntermediateTuples += r.Len()
 }
 
+// Snapshot returns a consistent copy of the counters.
+func (s *Stats) Snapshot() (joins, maxIntermediate, intermediateTuples int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.Joins, s.MaxIntermediate, s.IntermediateTuples
+}
+
 // String renders the statistics compactly.
 func (s *Stats) String() string {
+	joins, maxI, total := s.Snapshot()
 	return fmt.Sprintf("joins=%d max_intermediate=%d intermediate_tuples=%d",
-		s.Joins, s.MaxIntermediate, s.IntermediateTuples)
+		joins, maxI, total)
 }
 
 // Order decides the sequence in which an n-ary join combines its inputs.

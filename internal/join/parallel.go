@@ -1,0 +1,241 @@
+package join
+
+import (
+	"hash/fnv"
+	"runtime"
+	"sync"
+
+	"relquery/internal/relation"
+)
+
+// Parallel is a parallel hash join with two execution strategies chosen
+// by the shape of the key domain:
+//
+//   - partitioned: both inputs are hash-partitioned on the
+//     shared-attribute key into one bucket per worker, bucket pairs are
+//     joined by a worker pool, and the per-bucket results are merged in
+//     bucket order. Used when the build side has enough distinct keys
+//     (≥ PartitionKeyFactor × workers) for the buckets to balance.
+//   - broadcast: the build-side hash table is built once and shared
+//     read-only by all workers, and the probe side is split into
+//     contiguous chunks. Used when the key domain is small or skewed —
+//     the regime of the paper's gadget relations, whose shared columns
+//     range over a handful of symbols, where key partitioning would
+//     funnel everything through one bucket.
+//
+// Both strategies are deterministic regardless of goroutine scheduling:
+// chunk and bucket boundaries are pure functions of the inputs and the
+// merge walks them in index order. Under set semantics the result always
+// equals the sequential algorithms'; the broadcast path even reproduces
+// the sequential hash join's insertion order exactly.
+//
+// A natural join of sets never produces duplicate tuples (an output
+// tuple determines its left and right source tuples), so workers emit
+// without deduplicating; the merge still verifies key disjointness.
+//
+// Joins that cannot benefit — no shared attributes (a cross product has
+// a single empty key) or inputs below MinParallelRows — fall back to the
+// sequential Hash join.
+type Parallel struct {
+	// Workers is the number of partitions and worker goroutines;
+	// values < 1 mean runtime.GOMAXPROCS(0).
+	Workers int
+}
+
+// MinParallelRows is the combined input size below which Parallel
+// delegates to the sequential Hash join: partitioning overhead dominates
+// on tiny inputs.
+const MinParallelRows = 256
+
+// PartitionKeyFactor scales the partitioned-vs-broadcast decision: the
+// partitioned strategy needs at least this many distinct build-side keys
+// per worker to expect balanced buckets.
+const PartitionKeyFactor = 8
+
+// Name implements Algorithm.
+func (Parallel) Name() string { return "parallel" }
+
+func (p Parallel) workers() int {
+	if p.Workers < 1 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return p.Workers
+}
+
+// keyedTuple carries a tuple together with its serialized join key so the
+// key is computed exactly once, during partitioning.
+type keyedTuple struct {
+	key string
+	t   relation.Tuple
+}
+
+// Join implements Algorithm.
+func (p Parallel) Join(l, r *relation.Relation) (*relation.Relation, error) {
+	shared := l.Scheme().Intersect(r.Scheme())
+	w := p.workers()
+	if w <= 1 || shared.Len() == 0 || l.Len()+r.Len() < MinParallelRows {
+		return Hash{}.Join(l, r)
+	}
+
+	kl := newKeyExtractor(l.Scheme(), shared)
+	kr := newKeyExtractor(r.Scheme(), shared)
+	c := newCombiner(l.Scheme(), r.Scheme())
+
+	// Build on the smaller input, as the sequential hash join does.
+	build, probe := l, r
+	keyBuild, keyProbe := kl, kr
+	buildIsLeft := true
+	if r.Len() < l.Len() {
+		build, probe = r, l
+		keyBuild, keyProbe = kr, kl
+		buildIsLeft = false
+	}
+	table := make(map[string][]relation.Tuple, build.Len())
+	build.Each(func(t relation.Tuple) bool {
+		k := keyBuild.key(t)
+		table[k] = append(table[k], t)
+		return true
+	})
+
+	var tuples [][]relation.Tuple
+	if len(table) >= PartitionKeyFactor*w {
+		tuples = p.partitioned(table, probe, keyProbe, c, buildIsLeft, w)
+	} else {
+		tuples = p.broadcast(table, probe, keyProbe, c, buildIsLeft, w)
+	}
+	// Merge in worker order. Output tuples from different chunks/buckets
+	// are necessarily distinct (a natural-join output tuple determines
+	// its source pair, and each pair is processed by exactly one
+	// worker), so FromDistinctTuples assembles the result without
+	// cloning, key serialization or index construction.
+	return relation.FromDistinctTuples(c.out, tuples...)
+}
+
+// broadcast shares the build table read-only across workers and splits
+// the probe side into w contiguous chunks. Emission order is exactly the
+// sequential hash join's probe order.
+func (p Parallel) broadcast(table map[string][]relation.Tuple, probe *relation.Relation, keyProbe keyExtractor, c combiner, buildIsLeft bool, w int) [][]relation.Tuple {
+	total := probe.Len()
+	chunk := (total + w - 1) / w
+	tuples := make([][]relation.Tuple, w)
+	var wg sync.WaitGroup
+	for wi := 0; wi < w; wi++ {
+		lo := min(wi*chunk, total)
+		hi := min(lo+chunk, total)
+		wg.Add(1)
+		go func(wi, lo, hi int) {
+			defer wg.Done()
+			var ts []relation.Tuple
+			for i := lo; i < hi; i++ {
+				pt := probe.Tuple(i)
+				ts = emitMatches(table[keyProbe.key(pt)], pt, c, buildIsLeft, ts)
+			}
+			tuples[wi] = ts
+		}(wi, lo, hi)
+	}
+	wg.Wait()
+	return tuples
+}
+
+// partitioned splits the build table and the probe side into w buckets
+// by key hash and joins bucket pairs on the worker pool.
+func (p Parallel) partitioned(table map[string][]relation.Tuple, probe *relation.Relation, keyProbe keyExtractor, c combiner, buildIsLeft bool, w int) [][]relation.Tuple {
+	// Scatter the already-built table into per-bucket mini-tables
+	// without re-serializing any key.
+	miniTables := make([]map[string][]relation.Tuple, w)
+	for b := range miniTables {
+		miniTables[b] = make(map[string][]relation.Tuple)
+	}
+	for k, ts := range table {
+		b := bucketOf(k, w)
+		miniTables[b][k] = ts
+	}
+	probeBuckets := partition(probe, keyProbe, w)
+
+	tuples := make([][]relation.Tuple, w)
+	var wg sync.WaitGroup
+	for b := 0; b < w; b++ {
+		wg.Add(1)
+		go func(b int) {
+			defer wg.Done()
+			var ts []relation.Tuple
+			for _, kt := range probeBuckets[b] {
+				ts = emitMatches(miniTables[b][kt.key], kt.t, c, buildIsLeft, ts)
+			}
+			tuples[b] = ts
+		}(b)
+	}
+	wg.Wait()
+	return tuples
+}
+
+// emitMatches combines the probe tuple with every matching build tuple,
+// appending the fresh output tuples.
+func emitMatches(matches []relation.Tuple, pt relation.Tuple, c combiner, buildIsLeft bool, tuples []relation.Tuple) []relation.Tuple {
+	for _, m := range matches {
+		if buildIsLeft {
+			tuples = append(tuples, c.combine(m, pt))
+		} else {
+			tuples = append(tuples, c.combine(pt, m))
+		}
+	}
+	return tuples
+}
+
+// partition scatters rel into n buckets by hash of the join key,
+// computing keys in parallel. Each worker takes a contiguous index range
+// and scatters into private sub-buckets; concatenating sub-buckets in
+// worker order preserves the relation's tuple order within every bucket,
+// which keeps the overall join deterministic.
+func partition(rel *relation.Relation, ke keyExtractor, n int) [][]keyedTuple {
+	total := rel.Len()
+	chunk := (total + n - 1) / n
+	sub := make([][][]keyedTuple, n) // sub[worker][bucket]
+	var wg sync.WaitGroup
+	for wi := 0; wi < n; wi++ {
+		lo := min(wi*chunk, total)
+		hi := min(lo+chunk, total)
+		wg.Add(1)
+		go func(wi, lo, hi int) {
+			defer wg.Done()
+			mine := make([][]keyedTuple, n)
+			for i := lo; i < hi; i++ {
+				t := rel.Tuple(i)
+				k := ke.key(t)
+				b := bucketOf(k, n)
+				mine[b] = append(mine[b], keyedTuple{key: k, t: t})
+			}
+			sub[wi] = mine
+		}(wi, lo, hi)
+	}
+	wg.Wait()
+
+	buckets := make([][]keyedTuple, n)
+	for b := 0; b < n; b++ {
+		size := 0
+		for wi := 0; wi < n; wi++ {
+			size += len(sub[wi][b])
+		}
+		bucket := make([]keyedTuple, 0, size)
+		for wi := 0; wi < n; wi++ {
+			bucket = append(bucket, sub[wi][b]...)
+		}
+		buckets[b] = bucket
+	}
+	return buckets
+}
+
+func bucketOf(key string, n int) int {
+	h := fnv.New32a()
+	h.Write([]byte(key))
+	return int(h.Sum32() % uint32(n))
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+var _ Algorithm = Parallel{}

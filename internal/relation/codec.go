@@ -3,7 +3,10 @@ package relation
 import (
 	"bufio"
 	"fmt"
+	"hash/fnv"
 	"io"
+	"sort"
+	"strconv"
 	"strings"
 )
 
@@ -20,6 +23,55 @@ import (
 // bare relation (scheme line followed by tuples, no header/footer) is also
 // accepted by ReadRelation for quick one-relation files. Values and
 // attribute names are arbitrary non-whitespace tokens.
+
+// Fingerprint returns a deterministic content hash of the relation: two
+// relations fingerprint equal exactly when they hold the same set of
+// tuples over the same scheme (column order included). It is the cache
+// key ingredient used by the algebra evaluator's subexpression cache —
+// an expression evaluated against relations with unchanged fingerprints
+// must produce the same result.
+//
+// The hash is order-independent: each tuple's length-prefixed key is
+// hashed separately and the 64-bit digests are combined commutatively,
+// so Fingerprint costs one pass over the tuples with no sorting.
+func Fingerprint(r *Relation) string {
+	h := fnv.New64a()
+	h.Write([]byte(r.scheme.String()))
+	schemeSum := h.Sum64()
+	var tupleSum uint64
+	for _, t := range r.tuples {
+		th := fnv.New64a()
+		th.Write([]byte(t.Key()))
+		// XOR is commutative and associative; combined with the tuple
+		// count and scheme digest below, collisions need engineered input.
+		tupleSum ^= th.Sum64()
+	}
+	return strconv.FormatUint(schemeSum, 16) + "-" +
+		strconv.FormatUint(tupleSum, 16) + "-" +
+		strconv.Itoa(len(r.tuples))
+}
+
+// FingerprintDatabase fingerprints the named relations of db, rendering
+// "name=fp" pairs in sorted name order joined by ";". Unknown names
+// render as "name=!missing" so the caller's key is still deterministic.
+func FingerprintDatabase(db Database, names []string) string {
+	sorted := append([]string(nil), names...)
+	sort.Strings(sorted)
+	var b strings.Builder
+	for i, name := range sorted {
+		if i > 0 {
+			b.WriteByte(';')
+		}
+		b.WriteString(name)
+		b.WriteByte('=')
+		if r, ok := db[name]; ok {
+			b.WriteString(Fingerprint(r))
+		} else {
+			b.WriteString("!missing")
+		}
+	}
+	return b.String()
+}
 
 // WriteRelation writes r as a single "relation <name> ... end" block.
 func WriteRelation(w io.Writer, name string, r *Relation) error {

@@ -3,23 +3,49 @@ package relation
 import (
 	"fmt"
 	"sort"
+	"sync"
 )
 
 // Relation is a finite set of tuples over a fixed scheme. Tuples are kept
 // in insertion order for stable iteration, with a hash index enforcing set
 // semantics (adding a duplicate is a no-op).
 //
+// Relations built by FromDistinctTuples defer index construction until
+// the first operation that needs it (Contains, Add, ...) — the parallel
+// join produces provably duplicate-free output, and its intermediates
+// are often only ever scanned, never probed. The lazy build is guarded
+// by a sync.Once, preserving the contract below.
+//
 // A Relation is not safe for concurrent mutation; concurrent reads are
 // fine.
 type Relation struct {
-	scheme Scheme
-	tuples []Tuple
-	index  map[string]int // tuple key -> position in tuples
+	scheme    Scheme
+	tuples    []Tuple
+	index     map[string]int // tuple key -> position in tuples; nil until built
+	indexOnce sync.Once      // guards the lazy build for FromDistinctTuples relations
 }
 
 // New returns an empty relation over the given scheme.
 func New(scheme Scheme) *Relation {
 	return &Relation{scheme: scheme, index: make(map[string]int)}
+}
+
+// ensureIndex returns the tuple-key index, building it on first use for
+// relations assembled by FromDistinctTuples. Safe under concurrent
+// reads: the once serializes the build, and for eagerly indexed
+// relations the guarded closure is a no-op.
+func (r *Relation) ensureIndex() map[string]int {
+	r.indexOnce.Do(func() {
+		if r.index != nil {
+			return
+		}
+		idx := make(map[string]int, len(r.tuples))
+		for i, t := range r.tuples {
+			idx[t.Key()] = i
+		}
+		r.index = idx
+	})
+	return r.index
 }
 
 // FromTuples builds a relation over scheme containing the given tuples
@@ -30,6 +56,32 @@ func FromTuples(scheme Scheme, tuples []Tuple) (*Relation, error) {
 	for _, t := range tuples {
 		if _, err := r.Add(t); err != nil {
 			return nil, err
+		}
+	}
+	return r, nil
+}
+
+// FromDistinctTuples assembles a relation from tuple batches that the
+// caller guarantees to be pairwise distinct — the merge fast path of the
+// parallel join, whose output provably contains no duplicates (an output
+// tuple of a natural join determines its source pair). Tuples are not
+// cloned and no keys are serialized: the index is built lazily on first
+// use, so a result that is only ever scanned never pays for it. The
+// relation takes ownership of the given tuples; callers must not modify
+// them afterwards. Passing duplicate tuples violates set semantics
+// silently — use New/Add when distinctness is not guaranteed.
+func FromDistinctTuples(scheme Scheme, parts ...[]Tuple) (*Relation, error) {
+	total := 0
+	for _, p := range parts {
+		total += len(p)
+	}
+	r := &Relation{scheme: scheme, tuples: make([]Tuple, 0, total)}
+	for _, part := range parts {
+		for _, t := range part {
+			if len(t) != scheme.Len() {
+				return nil, fmt.Errorf("relation: tuple %v has arity %d, scheme %v has arity %d", t, len(t), scheme, scheme.Len())
+			}
+			r.tuples = append(r.tuples, t)
 		}
 	}
 	return r, nil
@@ -62,11 +114,12 @@ func (r *Relation) Add(t Tuple) (bool, error) {
 	if len(t) != r.scheme.Len() {
 		return false, fmt.Errorf("relation: tuple %v has arity %d, scheme %v has arity %d", t, len(t), r.scheme, r.scheme.Len())
 	}
+	idx := r.ensureIndex()
 	k := t.Key()
-	if _, ok := r.index[k]; ok {
+	if _, ok := idx[k]; ok {
 		return false, nil
 	}
-	r.index[k] = len(r.tuples)
+	idx[k] = len(r.tuples)
 	r.tuples = append(r.tuples, t.Clone())
 	return true, nil
 }
@@ -86,7 +139,7 @@ func (r *Relation) Contains(t Tuple) bool {
 	if len(t) != r.scheme.Len() {
 		return false
 	}
-	_, ok := r.index[t.Key()]
+	_, ok := r.ensureIndex()[t.Key()]
 	return ok
 }
 
