@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench fmt ci
+.PHONY: build test race bench trace fmt ci
 
 build:
 	$(GO) build ./...
@@ -15,6 +15,12 @@ race:
 # measurements raise -benchtime and pin -cpu.
 bench:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
+
+# Run the E7 blow-up experiment with tracing on, leaving the JSON
+# evaluation trace (span tree + metrics) in trace_e7.json — the same
+# artifact the CI trace job uploads.
+trace:
+	$(GO) run ./cmd/experiments -run E7 -quick -trace trace_e7.json
 
 fmt:
 	@out=$$(gofmt -l .); \

@@ -15,6 +15,7 @@ import (
 	"relquery/internal/decide"
 	"relquery/internal/deps"
 	"relquery/internal/join"
+	"relquery/internal/obs"
 	"relquery/internal/qbf"
 	"relquery/internal/reduction"
 	"relquery/internal/relation"
@@ -330,6 +331,11 @@ func BenchmarkJoinAlgorithms(b *testing.B) {
 // parallelism 1 ≈ sequential (fallback overhead only); parallelism 8
 // ahead of sequential on both families; the cached variant ahead again
 // when the expression repeats subexpressions.
+//
+// The -traced variants re-run a configuration with a fresh obs.Collector
+// per evaluation; comparing each pair measures the observability layer's
+// overhead, which the nil-collector fast path must keep within noise
+// (≤ 2%, see BENCH_obs.txt for the recorded before/after numbers).
 func BenchmarkE9ParallelEval(b *testing.B) {
 	xor, err := cnf.XorChain(2, true)
 	if err != nil {
@@ -355,18 +361,25 @@ func BenchmarkE9ParallelEval(b *testing.B) {
 		}
 		db := c.Database()
 		for _, cfg := range []struct {
-			name string
-			opts algebra.EvalOptions
+			name   string
+			opts   algebra.EvalOptions
+			traced bool
 		}{
-			{"sequential", algebra.EvalOptions{}},
-			{"parallel-1", algebra.EvalOptions{Parallelism: 1}},
-			{"parallel-8", algebra.EvalOptions{Parallelism: 8}},
-			{"parallel-8-cache", algebra.EvalOptions{Parallelism: 8, Cache: true}},
+			{"sequential", algebra.EvalOptions{}, false},
+			{"parallel-1", algebra.EvalOptions{Parallelism: 1}, false},
+			{"parallel-8", algebra.EvalOptions{Parallelism: 8}, false},
+			{"parallel-8-cache", algebra.EvalOptions{Parallelism: 8, Cache: true}, false},
+			{"sequential-traced", algebra.EvalOptions{}, true},
+			{"parallel-8-traced", algebra.EvalOptions{Parallelism: 8}, true},
 		} {
 			b.Run(fmt.Sprintf("%s/%s", fam.name, cfg.name), func(b *testing.B) {
 				b.ReportAllocs()
 				for i := 0; i < b.N; i++ {
-					ev := cfg.opts.NewEvaluator()
+					opts := cfg.opts
+					if cfg.traced {
+						opts.Collector = &obs.Collector{}
+					}
+					ev := opts.NewEvaluator()
 					ev.Order = join.Greedy
 					if _, err := ev.Eval(phi, db); err != nil {
 						b.Fatal(err)

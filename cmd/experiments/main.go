@@ -4,9 +4,10 @@
 //
 // Usage:
 //
-//	experiments                  # run everything
-//	experiments -run E1,E4,E7    # run a selection
-//	experiments -quick -seed 7   # smaller sweeps, custom seed
+//	experiments                        # run everything
+//	experiments -run E1,E4,E7          # run a selection
+//	experiments -quick -seed 7         # smaller sweeps, custom seed
+//	experiments -run E7 -trace e7.json # write E7's evaluation trace
 package main
 
 import (
@@ -33,6 +34,7 @@ func run(args []string) error {
 		quick   = fs.Bool("quick", false, "smaller sweeps for a fast pass")
 		list    = fs.Bool("list", false, "list experiments and exit")
 		catalog = fs.Bool("catalog", false, "print the paper's complexity catalog and exit")
+		trace   = fs.String("trace", "", "write a JSON evaluation trace from tracing-aware experiments (E7) to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -57,5 +59,14 @@ func run(args []string) error {
 			ids = append(ids, strings.TrimSpace(id))
 		}
 	}
-	return core.Run(ids, &core.Config{Out: os.Stdout, Seed: *seed, Quick: *quick})
+	cfg := &core.Config{Out: os.Stdout, Seed: *seed, Quick: *quick}
+	if *trace != "" {
+		f, err := os.Create(*trace)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		cfg.Trace = f
+	}
+	return core.Run(ids, cfg)
 }

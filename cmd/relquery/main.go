@@ -15,10 +15,13 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"relquery/internal/algebra"
 	"relquery/internal/join"
+	"relquery/internal/obs"
 	"relquery/internal/relation"
 	"relquery/internal/tableau"
 )
@@ -46,16 +49,39 @@ func run(args []string) error {
 		cache     = fs.Bool("cache", false, "memoize repeated subexpressions (keyed by expression text and relation fingerprint)")
 		optimize  = fs.Bool("optimize", false, "rewrite the expression (projection pushdown etc.) before evaluating")
 		explain   = fs.Bool("explain", false, "print the operator tree with actual cardinalities instead of the result")
+		analyze   = fs.Bool("explain-analyze", false, "evaluate once and print the executed operator tree annotated with observed stats and AGM bounds instead of the result")
+		tracePath = fs.String("trace", "", "write a JSON evaluation trace (span tree + metrics) to this file, or \"-\" for stdout")
+		metrics   = fs.Bool("metrics", false, "print per-evaluation metrics (tuple traffic, partitions, cache counters) to stderr")
+		pprofPre  = fs.String("pprof", "", "capture profiles around evaluation into <prefix>.cpu.pprof and <prefix>.mem.pprof")
 		contains  = fs.String("contains", "", "instead of evaluating, test whether this whitespace-separated tuple (in target-scheme order) is in the result")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *dbPath == "" {
-		return fmt.Errorf("-db is required")
+		return usageError(fs, "-db is required")
 	}
 	if (*query == "") == (*queryFile == "") {
-		return fmt.Errorf("exactly one of -query or -query-file is required")
+		return usageError(fs, "exactly one of -query or -query-file is required")
+	}
+	// Validate engine knobs up front: a bad flag should fail with a usage
+	// message before any file is read, not as a late engine error.
+	if *parallel < 0 {
+		return usageError(fs, "-parallel must be a non-negative worker count, got %d", *parallel)
+	}
+	alg, err := join.ByName(*algName)
+	if err != nil {
+		return usageError(fs, "-join: unknown algorithm %q (want %s)", *algName, strings.Join(join.Names(), ", "))
+	}
+	order, err := join.OrderByName(*orderName)
+	if err != nil {
+		return usageError(fs, "-order: unknown order %q (want greedy or sequential)", *orderName)
+	}
+	if *engine != "materialize" && *engine != "tableau" {
+		return usageError(fs, "-engine: unknown engine %q (want materialize or tableau)", *engine)
+	}
+	if *engine == "tableau" && (*analyze || *tracePath != "" || *metrics) {
+		return usageError(fs, "-explain-analyze, -trace and -metrics require -engine materialize")
 	}
 	src := *query
 	if *queryFile != "" {
@@ -92,14 +118,6 @@ func run(args []string) error {
 	}
 
 	if *explain {
-		alg, err := join.ByName(*algName)
-		if err != nil {
-			return err
-		}
-		order, err := join.OrderByName(*orderName)
-		if err != nil {
-			return err
-		}
 		ev := algebra.Evaluator{Algorithm: alg, Order: order, MaxIntermediate: *budget}
 		plan, err := algebra.ExplainWith(&ev, expr, db)
 		if err != nil {
@@ -131,14 +149,6 @@ func run(args []string) error {
 	var result *relation.Relation
 	switch *engine {
 	case "materialize":
-		alg, err := join.ByName(*algName)
-		if err != nil {
-			return err
-		}
-		order, err := join.OrderByName(*orderName)
-		if err != nil {
-			return err
-		}
 		opts := algebra.EvalOptions{Parallelism: *parallel, Cache: *cache}
 		// When the parallel engine is on and -join was left at its
 		// default, let the evaluator pick the partitioned parallel hash
@@ -149,6 +159,13 @@ func run(args []string) error {
 				joinFlagSet = true
 			}
 		})
+		// Attach a collector only when some observability output was
+		// requested: a nil collector keeps the engine on its
+		// zero-overhead fast path.
+		var collector *obs.Collector
+		if *analyze || *tracePath != "" || *metrics {
+			collector = &obs.Collector{}
+		}
 		var js join.Stats
 		ev := algebra.Evaluator{
 			Algorithm:       alg,
@@ -157,11 +174,29 @@ func run(args []string) error {
 			MaxIntermediate: *budget,
 			Parallelism:     opts.Parallelism,
 			Cache:           opts.Cache,
+			Collector:       collector,
 		}
 		if opts.Parallelism > 1 && !joinFlagSet {
 			ev.Algorithm = nil
 		}
+		stopProfiles, err := startProfiles(*pprofPre)
+		if err != nil {
+			return err
+		}
 		result, err = ev.Eval(expr, db)
+		if perr := stopProfiles(); perr != nil && err == nil {
+			err = perr
+		}
+		// The trace is worth emitting even when evaluation aborts (a
+		// budget abort's partial spans show where the blow-up happened).
+		if *tracePath != "" {
+			if terr := writeTrace(*tracePath, collector.Trace()); terr != nil && err == nil {
+				err = terr
+			}
+		}
+		if *metrics {
+			fmt.Fprintln(os.Stderr, collector.Metrics.Snapshot().String())
+		}
 		if err != nil {
 			return err
 		}
@@ -169,20 +204,29 @@ func run(args []string) error {
 			fmt.Fprintf(os.Stderr, "engine=materialize join=%s order=%s parallel=%d cache=%v %s\n",
 				ev.AlgorithmName(), order, opts.Parallelism, opts.Cache, js.String())
 		}
+		if *analyze {
+			fmt.Print(algebra.RenderTrace(collector.Trace()))
+			return nil
+		}
 	case "tableau":
 		tb, err := tableau.New(expr)
 		if err != nil {
 			return err
 		}
+		stopProfiles, err := startProfiles(*pprofPre)
+		if err != nil {
+			return err
+		}
 		result, err = tb.Eval(db)
+		if perr := stopProfiles(); perr != nil && err == nil {
+			err = perr
+		}
 		if err != nil {
 			return err
 		}
 		if *stats {
 			fmt.Fprintf(os.Stderr, "engine=tableau rows=%d vars=%d\n", len(tb.Rows), len(tb.Vars()))
 		}
-	default:
-		return fmt.Errorf("unknown engine %q (want materialize or tableau)", *engine)
 	}
 
 	if *countOnly {
@@ -192,4 +236,61 @@ func run(args []string) error {
 	fmt.Printf("# %s\n# %d tuples over %v\n", expr, result.Len(), result.Scheme())
 	fmt.Print(relation.RenderSorted(result))
 	return nil
+}
+
+// usageError prints the flag set's usage to its output and returns the
+// formatted error, so bad flag values fail fast with guidance instead of
+// surfacing as late engine errors.
+func usageError(fs *flag.FlagSet, format string, args ...any) error {
+	fs.Usage()
+	return fmt.Errorf(format, args...)
+}
+
+// writeTrace writes the JSON trace to path ("-" for stdout).
+func writeTrace(path string, t *obs.Trace) error {
+	if path == "-" {
+		return t.WriteJSON(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := t.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// startProfiles begins CPU profiling and returns a stop function that
+// finishes the CPU profile and captures a heap profile. With an empty
+// prefix both are no-ops.
+func startProfiles(prefix string) (func() error, error) {
+	if prefix == "" {
+		return func() error { return nil }, nil
+	}
+	cf, err := os.Create(prefix + ".cpu.pprof")
+	if err != nil {
+		return nil, err
+	}
+	if err := pprof.StartCPUProfile(cf); err != nil {
+		cf.Close()
+		return nil, err
+	}
+	return func() error {
+		pprof.StopCPUProfile()
+		if err := cf.Close(); err != nil {
+			return err
+		}
+		mf, err := os.Create(prefix + ".mem.pprof")
+		if err != nil {
+			return err
+		}
+		runtime.GC() // settle the heap so the profile reflects retained memory
+		if err := pprof.WriteHeapProfile(mf); err != nil {
+			mf.Close()
+			return err
+		}
+		return mf.Close()
+	}, nil
 }

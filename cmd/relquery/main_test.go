@@ -1,9 +1,12 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"testing"
+
+	"relquery/internal/obs"
 )
 
 func writeFile(t *testing.T, name, content string) string {
@@ -75,6 +78,10 @@ func TestRunErrors(t *testing.T) {
 		{"-db", db, "-query", "T", "-join", "bogus"},
 		{"-db", db, "-query", "T", "-order", "bogus"},
 		{"-db", "/does/not/exist", "-query", "T"},
+		{"-db", db, "-query", "T", "-parallel", "-1"},
+		{"-db", db, "-query", "T", "-engine", "tableau", "-explain-analyze"},
+		{"-db", db, "-query", "T", "-engine", "tableau", "-metrics"},
+		{"-db", db, "-query", "T", "-engine", "tableau", "-trace", "-"},
 	}
 	for i, args := range cases {
 		if err := run(args); err == nil {
@@ -94,6 +101,84 @@ func TestRunOptimize(t *testing.T) {
 	db := writeFile(t, "db.rel", testDB)
 	if err := run([]string{"-db", db, "-query", "pi[A](pi[A B](T) * pi[B C](T))", "-optimize", "-stats", "-count"}); err != nil {
 		t.Error(err)
+	}
+}
+
+func TestRunExplainAnalyze(t *testing.T) {
+	db := writeFile(t, "db.rel", testDB)
+	if err := run([]string{"-db", db, "-query", "pi[A](pi[A B](T) * pi[B C](T))", "-explain-analyze"}); err != nil {
+		t.Error(err)
+	}
+	// The parallel engine and caching must trace too.
+	if err := run([]string{"-db", db, "-query", "pi[A B](T) * pi[B C](T)",
+		"-parallel", "4", "-cache", "-explain-analyze"}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRunTraceEmitsValidJSON(t *testing.T) {
+	db := writeFile(t, "db.rel", testDB)
+	tracePath := filepath.Join(t.TempDir(), "trace.json")
+	if err := run([]string{"-db", db, "-query", "pi[A C](pi[A B](T) * pi[B C](T))",
+		"-trace", tracePath, "-metrics", "-count"}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tr obs.Trace
+	if err := json.Unmarshal(data, &tr); err != nil {
+		t.Fatalf("-trace output is not valid JSON: %v\n%s", err, data)
+	}
+	root := tr.Root()
+	if root == nil {
+		t.Fatal("-trace output has no root span")
+	}
+	if root.Op != obs.OpProject || root.OutputRows == 0 {
+		t.Errorf("root span = op=%s rows=%d, want a project with rows", root.Op, root.OutputRows)
+	}
+	if tr.Metrics.Joins == 0 {
+		t.Error("-trace metrics recorded no joins")
+	}
+}
+
+// TestRunTraceOnBudgetAbort: the trace file is written even when
+// evaluation aborts, with the error recorded on a span.
+func TestRunTraceOnBudgetAbort(t *testing.T) {
+	db := writeFile(t, "db.rel", testDB)
+	tracePath := filepath.Join(t.TempDir(), "trace.json")
+	if err := run([]string{"-db", db, "-query", "pi[A B](T) * pi[B C](T)",
+		"-budget", "1", "-trace", tracePath}); err == nil {
+		t.Fatal("budget violation not reported")
+	}
+	data, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatalf("no trace written on budget abort: %v", err)
+	}
+	var tr obs.Trace
+	if err := json.Unmarshal(data, &tr); err != nil {
+		t.Fatalf("abort trace is not valid JSON: %v", err)
+	}
+	if root := tr.Root(); root == nil || root.Err == "" {
+		t.Errorf("abort trace root should carry the error, got %+v", root)
+	}
+}
+
+func TestRunPprofWritesProfiles(t *testing.T) {
+	db := writeFile(t, "db.rel", testDB)
+	prefix := filepath.Join(t.TempDir(), "rq")
+	if err := run([]string{"-db", db, "-query", "pi[A B](T) * pi[B C](T)",
+		"-pprof", prefix, "-count"}); err != nil {
+		t.Fatal(err)
+	}
+	for _, suffix := range []string{".cpu.pprof", ".mem.pprof"} {
+		info, err := os.Stat(prefix + suffix)
+		if err != nil {
+			t.Errorf("profile %s not written: %v", suffix, err)
+		} else if info.Size() == 0 {
+			t.Errorf("profile %s is empty", suffix)
+		}
 	}
 }
 

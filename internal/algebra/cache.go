@@ -23,10 +23,11 @@ import (
 // depend on per-call budgets). The zero value is not ready — use
 // NewSubexprCache.
 type SubexprCache struct {
-	mu      sync.Mutex
-	entries map[string]*relation.Relation
-	hits    int
-	misses  int
+	mu            sync.Mutex
+	entries       map[string]*relation.Relation
+	hits          int
+	misses        int
+	invalidations int
 }
 
 // NewSubexprCache returns an empty cache.
@@ -49,23 +50,30 @@ func (c *SubexprCache) key(e Expr, db relation.Database) string {
 // last writer wins, which is harmless because equal keys imply equal
 // results.
 func (c *SubexprCache) Do(e Expr, db relation.Database, compute func() (*relation.Relation, error)) (*relation.Relation, error) {
+	r, _, err := c.do(e, db, compute)
+	return r, err
+}
+
+// do is Do exposing whether the result was served from the cache, for
+// the evaluator's trace spans and metrics.
+func (c *SubexprCache) do(e Expr, db relation.Database, compute func() (*relation.Relation, error)) (*relation.Relation, bool, error) {
 	k := c.key(e, db)
 	c.mu.Lock()
 	if r, ok := c.entries[k]; ok {
 		c.hits++
 		c.mu.Unlock()
-		return r, nil
+		return r, true, nil
 	}
 	c.misses++
 	c.mu.Unlock()
 	r, err := compute()
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
 	c.mu.Lock()
 	c.entries[k] = r
 	c.mu.Unlock()
-	return r, nil
+	return r, false, nil
 }
 
 // Stats reports cache hits, misses and resident entries.
@@ -75,11 +83,26 @@ func (c *SubexprCache) Stats() (hits, misses, entries int) {
 	return c.hits, c.misses, len(c.entries)
 }
 
-// Reset drops every entry, keeping the hit/miss counters.
-func (c *SubexprCache) Reset() {
+// Counters reports the cache's lifetime counters: hits, misses, entries
+// invalidated by Reset, and resident entries. Unlike the per-evaluation
+// obs.Metrics cache counters (which also count per-call memo hits), these
+// describe only this shared cache.
+func (c *SubexprCache) Counters() (hits, misses, invalidations, entries int) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	return c.hits, c.misses, c.invalidations, len(c.entries)
+}
+
+// Reset drops every entry, keeping the hit/miss counters and counting the
+// dropped entries as invalidations. It returns the number of entries
+// dropped.
+func (c *SubexprCache) Reset() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	dropped := len(c.entries)
+	c.invalidations += dropped
 	c.entries = make(map[string]*relation.Relation)
+	return dropped
 }
 
 // memoTable is the per-Eval-call memo: concurrency-safe and
@@ -102,20 +125,24 @@ func newMemoTable() *memoTable {
 }
 
 // do returns the memoized result for key, computing it via compute on
-// first request. Safe for concurrent use; deadlock-free because the
-// compute graph follows the expression tree (a computation only ever
-// waits on strictly smaller subexpressions).
-func (m *memoTable) do(key string, compute func() (*relation.Relation, error)) (*relation.Relation, error) {
+// first request, and reports whether the result was served from the memo
+// (true exactly when this call did not run compute). Safe for concurrent
+// use; deadlock-free because the compute graph follows the expression
+// tree (a computation only ever waits on strictly smaller
+// subexpressions). Compute-once even under parallel evaluation: the
+// second requester of a key blocks on the first's channel, so hit/miss
+// counts derived from the returned flag are deterministic.
+func (m *memoTable) do(key string, compute func() (*relation.Relation, error)) (*relation.Relation, bool, error) {
 	m.mu.Lock()
 	if e, ok := m.entries[key]; ok {
 		m.mu.Unlock()
 		<-e.done
-		return e.r, e.err
+		return e.r, true, e.err
 	}
 	e := &memoEntry{done: make(chan struct{})}
 	m.entries[key] = e
 	m.mu.Unlock()
 	e.r, e.err = compute()
 	close(e.done)
-	return e.r, e.err
+	return e.r, false, e.err
 }

@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"relquery/internal/join"
+	"relquery/internal/obs"
 	"relquery/internal/relation"
 )
 
@@ -21,12 +22,15 @@ type EvalOptions struct {
 	// Cache memoizes structurally identical subexpressions within each
 	// Eval call (see Evaluator.Cache).
 	Cache bool
+	// Collector, when non-nil, traces the evaluation (see
+	// Evaluator.Collector).
+	Collector *obs.Collector
 }
 
 // NewEvaluator returns an evaluator configured by the options, with
 // default join algorithm and order.
 func (o EvalOptions) NewEvaluator() *Evaluator {
-	return &Evaluator{Parallelism: o.Parallelism, Cache: o.Cache}
+	return &Evaluator{Parallelism: o.Parallelism, Cache: o.Cache, Collector: o.Collector}
 }
 
 // Evaluator materializes project–join expressions against a database. The
@@ -40,6 +44,10 @@ type Evaluator struct {
 	// Stats, when non-nil, accumulates intermediate-result statistics
 	// across Eval calls. The paper's hardness results manifest as
 	// Stats.MaxIntermediate exploding while inputs and outputs stay small.
+	//
+	// Deprecated: attach a Collector instead; its Metrics carry the same
+	// counters (and more) with race-free mid-run snapshots. Stats remains
+	// functional so existing callers compile unchanged.
 	Stats *join.Stats
 	// MaxIntermediate, when positive, aborts evaluation with
 	// ErrBudgetExceeded as soon as any intermediate relation exceeds that
@@ -70,6 +78,16 @@ type Evaluator struct {
 	// of the referenced relations (relation.Fingerprint), so entries
 	// survive only as long as the underlying relations are unchanged.
 	SharedCache *SubexprCache
+	// Collector, when non-nil, records a span per operator (cardinalities,
+	// scheme width, wall time, join algorithm, cache status, worker count,
+	// AGM bound) and evaluation-wide counters into an obs trace. Nil — the
+	// zero value — keeps the engine on its uninstrumented fast path: span
+	// and metric calls reduce to nil checks, with no allocation or clock
+	// reads (see BenchmarkE9ParallelEval's traced/untraced pairs).
+	//
+	// Collector supersedes Stats: it observes everything Stats does and
+	// more, with race-free mid-run snapshots (Collector.Metrics.Snapshot).
+	Collector *obs.Collector
 }
 
 // ErrBudgetExceeded is returned (wrapped) when evaluation exceeds the
@@ -106,29 +124,104 @@ func (ev *Evaluator) Eval(e Expr, db relation.Database) (*relation.Relation, err
 	if ev.Cache {
 		memo = newMemoTable()
 	}
-	return ev.eval(e, db, memo)
+	return ev.eval(e, db, memo, ev.newSpan(nil, e))
 }
 
-func (ev *Evaluator) eval(e Expr, db relation.Database, memo *memoTable) (*relation.Relation, error) {
+// newSpan opens the span for node e under parent (a root span when parent
+// is nil). It returns nil — and allocates nothing — when no collector is
+// attached. Spans for a join's arguments are created sequentially before
+// the parallel fan-out, so Children order always matches argument order.
+func (ev *Evaluator) newSpan(parent *obs.Span, e Expr) *obs.Span {
+	if ev.Collector == nil {
+		return nil
+	}
+	op := spanOp(e)
+	label := nodeLabel(e)
+	var sp *obs.Span
+	if parent == nil {
+		sp = ev.Collector.Start(op, label)
+	} else {
+		sp = parent.Child(op, label)
+	}
+	sp.SetSchemeWidth(e.Scheme().Len())
+	return sp
+}
+
+func spanOp(e Expr) string {
+	switch e.(type) {
+	case *Operand:
+		return obs.OpScan
+	case *Project:
+		return obs.OpProject
+	case *Join:
+		return obs.OpJoin
+	default:
+		return fmt.Sprintf("%T", e)
+	}
+}
+
+// eval computes one node, recording its span (sp may be nil: tracing
+// off). A node served from the per-call memo or the shared cache gets a
+// span with cache status "hit" and no children — its subtree was not
+// executed.
+func (ev *Evaluator) eval(e Expr, db relation.Database, memo *memoTable, sp *obs.Span) (*relation.Relation, error) {
+	sp.Begin()
 	// Operands are cheap lookups; only memoize composite nodes.
 	if _, isOp := e.(*Operand); isOp || (memo == nil && ev.SharedCache == nil) {
-		return ev.evalNode(e, db, memo)
+		r, err := ev.evalNode(e, db, memo, sp)
+		return ev.finishSpan(sp, "", r, err)
 	}
+	cacheStatus := obs.CacheMiss
 	compute := func() (*relation.Relation, error) {
 		if ev.SharedCache != nil {
-			return ev.SharedCache.Do(e, db, func() (*relation.Relation, error) {
-				return ev.evalNode(e, db, memo)
+			r, hit, err := ev.SharedCache.do(e, db, func() (*relation.Relation, error) {
+				return ev.evalNode(e, db, memo, sp)
 			})
+			if hit {
+				cacheStatus = obs.CacheHit
+			}
+			return r, err
 		}
-		return ev.evalNode(e, db, memo)
+		return ev.evalNode(e, db, memo, sp)
 	}
+	var r *relation.Relation
+	var err error
 	if memo != nil {
-		return memo.do(e.String(), compute)
+		var hit bool
+		r, hit, err = memo.do(e.String(), compute)
+		if hit {
+			cacheStatus = obs.CacheHit
+		}
+	} else {
+		r, err = compute()
 	}
-	return compute()
+	if cacheStatus == obs.CacheHit {
+		ev.Collector.M().CacheHit()
+	} else {
+		ev.Collector.M().CacheMiss()
+	}
+	return ev.finishSpan(sp, cacheStatus, r, err)
 }
 
-func (ev *Evaluator) evalNode(e Expr, db relation.Database, memo *memoTable) (*relation.Relation, error) {
+// finishSpan closes sp with the node's outcome and passes the result
+// through.
+func (ev *Evaluator) finishSpan(sp *obs.Span, cacheStatus string, r *relation.Relation, err error) (*relation.Relation, error) {
+	if sp != nil {
+		sp.SetCache(cacheStatus)
+		sp.SetErr(err)
+		rows := 0
+		if r != nil {
+			rows = r.Len()
+		}
+		sp.Finish(rows)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+func (ev *Evaluator) evalNode(e Expr, db relation.Database, memo *memoTable, sp *obs.Span) (*relation.Relation, error) {
 	switch x := e.(type) {
 	case *Operand:
 		r, err := db.Get(x.Name())
@@ -142,26 +235,30 @@ func (ev *Evaluator) evalNode(e Expr, db relation.Database, memo *memoTable) (*r
 		return r, nil
 
 	case *Project:
-		child, err := ev.eval(x.Of(), db, memo)
+		child, err := ev.eval(x.Of(), db, memo, ev.newSpan(sp, x.Of()))
 		if err != nil {
 			return nil, err
+		}
+		if sp != nil {
+			sp.SetInputs([]int{child.Len()})
 		}
 		out, err := child.Project(x.Onto())
 		if err != nil {
 			return nil, err
 		}
 		ev.Stats.Observe(out)
+		ev.Collector.M().ObserveIntermediate(out.Len())
 		if err := ev.check(out); err != nil {
 			return nil, err
 		}
 		return out, nil
 
 	case *Join:
-		args, err := ev.evalArgs(x.Args(), db, memo)
+		args, err := ev.evalArgs(x.Args(), db, memo, sp)
 		if err != nil {
 			return nil, err
 		}
-		out, err := ev.multi(args)
+		out, err := ev.multi(args, sp)
 		if err != nil {
 			return nil, err
 		}
@@ -178,17 +275,24 @@ func (ev *Evaluator) evalNode(e Expr, db relation.Database, memo *memoTable) (*r
 // their own pool, so total goroutines can exceed Parallelism briefly,
 // but every worker makes progress (the memo's waiting is well-founded on
 // the expression tree) so there is no deadlock.
-func (ev *Evaluator) evalArgs(exprs []Expr, db relation.Database, memo *memoTable) ([]*relation.Relation, error) {
+func (ev *Evaluator) evalArgs(exprs []Expr, db relation.Database, memo *memoTable, sp *obs.Span) ([]*relation.Relation, error) {
 	args := make([]*relation.Relation, len(exprs))
 	if ev.Parallelism <= 1 || len(exprs) < 2 {
 		for i, a := range exprs {
-			r, err := ev.eval(a, db, memo)
+			r, err := ev.eval(a, db, memo, ev.newSpan(sp, a))
 			if err != nil {
 				return nil, err
 			}
 			args[i] = r
 		}
 		return args, nil
+	}
+	// Child spans are created here, in argument order, before any worker
+	// starts: the trace's child order stays deterministic under
+	// concurrency.
+	spans := make([]*obs.Span, len(exprs))
+	for i, a := range exprs {
+		spans[i] = ev.newSpan(sp, a)
 	}
 	sem := make(chan struct{}, ev.Parallelism)
 	errs := make([]error, len(exprs))
@@ -199,7 +303,7 @@ func (ev *Evaluator) evalArgs(exprs []Expr, db relation.Database, memo *memoTabl
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			args[i], errs[i] = ev.eval(a, db, memo)
+			args[i], errs[i] = ev.eval(a, db, memo, spans[i])
 		}(i, a)
 	}
 	wg.Wait()
@@ -213,7 +317,14 @@ func (ev *Evaluator) evalArgs(exprs []Expr, db relation.Database, memo *memoTabl
 
 // multi joins args, aborting mid-plan as soon as any binary join result
 // exceeds the budget.
-func (ev *Evaluator) multi(args []*relation.Relation) (*relation.Relation, error) {
+func (ev *Evaluator) multi(args []*relation.Relation, sp *obs.Span) (*relation.Relation, error) {
+	if sp != nil {
+		ins := make([]int, len(args))
+		for i, a := range args {
+			ins[i] = a.Len()
+		}
+		sp.SetInputs(ins)
+	}
 	if ev.SemijoinPrefilter && len(args) > 1 {
 		reduced, _, err := join.ReduceFixpoint(args)
 		if err != nil {
@@ -222,10 +333,54 @@ func (ev *Evaluator) multi(args []*relation.Relation) (*relation.Relation, error
 		args = reduced
 	}
 	alg := ev.algorithm()
+	if m := ev.Collector.M(); m != nil {
+		if ma, ok := alg.(join.Metered); ok {
+			alg = ma.WithMetrics(m)
+		}
+		if len(args) == 1 {
+			// join.Multi passes a single input through without a binary
+			// join; fold it into the intermediate statistics like Stats
+			// does.
+			m.ObserveIntermediate(args[0].Len())
+		}
+	}
+	if sp != nil {
+		// The AGM bound is a function of the joined inputs (post
+		// prefilter — those are the relations actually joined).
+		sp.SetAGMBound(join.AGMBoundOf(args))
+		workers := 0
+		if p, ok := alg.(join.Parallel); ok {
+			workers = p.EffectiveWorkers()
+		}
+		sp.SetAlgorithm(alg.Name(), workers)
+		// Record every binary-join output inside this n-ary node: the
+		// paper's blow-up lives in these intermediates, not in the node's
+		// final output. Wrapped inside the budget guard so a blown-up
+		// intermediate is recorded even when it aborts evaluation.
+		alg = spanObserver{inner: alg, sp: sp}
+	}
 	if ev.MaxIntermediate > 0 {
 		alg = budgetAlgorithm{inner: alg, max: ev.MaxIntermediate}
 	}
 	return join.Multi(args, alg, ev.Order, ev.Stats)
+}
+
+// spanObserver wraps an Algorithm and folds every binary-join output into
+// the owning join span's MaxIntermediate.
+type spanObserver struct {
+	inner join.Algorithm
+	sp    *obs.Span
+}
+
+func (s spanObserver) Name() string { return s.inner.Name() }
+
+func (s spanObserver) Join(l, r *relation.Relation) (*relation.Relation, error) {
+	out, err := s.inner.Join(l, r)
+	if err != nil {
+		return nil, err
+	}
+	s.sp.ObservePeak(out.Len())
+	return out, nil
 }
 
 // budgetAlgorithm wraps an Algorithm and fails when any join result

@@ -10,6 +10,7 @@ import (
 	"relquery/internal/cnf"
 	"relquery/internal/deps"
 	"relquery/internal/join"
+	"relquery/internal/obs"
 	"relquery/internal/reduction"
 	"relquery/internal/relation"
 	"relquery/internal/tableau"
@@ -35,6 +36,9 @@ func runE7(cfg *Config) error {
 	const budget = 2_000_000
 	fmt.Fprintf(cfg.Out, "workload: 8-clause unsat core + k padding clauses; input = output = 7m+1 rows\n")
 	t := newTable(cfg.Out, "m", "input_rows", "output_rows", "max_intermediate(seq)", "max_intermediate(greedy)", "blowup(greedy)", "tableau_ms")
+	// The largest greedy evaluation's trace is kept for cfg.Trace: its span
+	// tree pinpoints the join node where the intermediate blow-up happens.
+	var lastTrace *obs.Trace
 	for extra := 0; extra <= maxExtra; extra++ {
 		g, err := cnf.PadWithFreshClauses(core8, extra)
 		if err != nil {
@@ -50,20 +54,26 @@ func runE7(cfg *Config) error {
 			return err
 		}
 
-		measure := func(order join.Order) (string, int) {
-			var stats join.Stats
-			ev := algebra.Evaluator{Order: order, Stats: &stats, MaxIntermediate: budget}
+		// Each measurement runs under its own obs.Collector and reads the
+		// blow-up from the metrics snapshot; the span tree doubles as the
+		// -trace artifact. (Earlier revisions read the deprecated
+		// join.Stats here.)
+		measure := func(order join.Order) (string, int, *obs.Trace) {
+			col := &obs.Collector{}
+			ev := algebra.Evaluator{Order: order, MaxIntermediate: budget, Collector: col}
 			_, err := ev.Eval(phi, c.Database())
 			if err != nil {
 				if errors.Is(err, algebra.ErrBudgetExceeded) {
-					return fmt.Sprintf(">%d", budget), budget
+					return fmt.Sprintf(">%d", budget), budget, col.Trace()
 				}
-				return "error", 0
+				return "error", 0, col.Trace()
 			}
-			return fmt.Sprint(stats.MaxIntermediate), stats.MaxIntermediate
+			snap := col.Metrics.Snapshot()
+			return fmt.Sprint(snap.MaxIntermediate), int(snap.MaxIntermediate), col.Trace()
 		}
-		seqStr, _ := measure(join.Sequential)
-		greedyStr, greedyMax := measure(join.Greedy)
+		seqStr, _, _ := measure(join.Sequential)
+		greedyStr, greedyMax, greedyTrace := measure(join.Greedy)
+		lastTrace = greedyTrace
 
 		tb, err := tableau.New(phi)
 		if err != nil {
@@ -85,6 +95,11 @@ func runE7(cfg *Config) error {
 		return err
 	}
 	fmt.Fprintln(cfg.Out, "expected shape: input and output grow linearly in m; max intermediate grows ~7x per padding clause")
+	if cfg.Trace != nil && lastTrace != nil {
+		if err := lastTrace.WriteJSON(cfg.Trace); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 

@@ -16,6 +16,11 @@ type Config struct {
 	// Quick shrinks sweeps for fast CI runs; the full sweeps are the ones
 	// recorded in EXPERIMENTS.md.
 	Quick bool
+	// Trace, when non-nil, receives a JSON evaluation trace (obs span
+	// tree + metrics) from experiments that support tracing — currently
+	// E7, which traces its largest greedy-order evaluation. The CI
+	// workflow uploads this as an artifact next to the benchmark numbers.
+	Trace io.Writer
 }
 
 // Experiment is one reproducible experiment from EXPERIMENTS.md.

@@ -2,6 +2,7 @@ package decide
 
 import (
 	"relquery/internal/algebra"
+	"relquery/internal/obs"
 	"relquery/internal/relation"
 )
 
@@ -20,6 +21,18 @@ import (
 // result order-independent).
 func MaterializeJoin(phi algebra.Expr, db relation.Database, opts algebra.EvalOptions) (*relation.Relation, error) {
 	return opts.NewEvaluator().Eval(phi, db)
+}
+
+// MaterializeJoinTraced is MaterializeJoin under a fresh obs.Collector:
+// it returns the result together with the evaluation's trace (span tree
+// plus metrics). The trace is returned even when evaluation fails — a
+// budget abort's partial spans show which join node blew up. Any
+// Collector already set in opts is superseded for this call.
+func MaterializeJoinTraced(phi algebra.Expr, db relation.Database, opts algebra.EvalOptions) (*relation.Relation, *obs.Trace, error) {
+	col := &obs.Collector{}
+	opts.Collector = col
+	r, err := opts.NewEvaluator().Eval(phi, db)
+	return r, col.Trace(), err
 }
 
 // CountMaterializedWith computes |φ(db)| by materializing with the

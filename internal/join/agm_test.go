@@ -1,0 +1,122 @@
+package join
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"relquery/internal/relation"
+)
+
+func schemes(t *testing.T, specs ...string) []relation.Scheme {
+	t.Helper()
+	out := make([]relation.Scheme, len(specs))
+	for i, spec := range specs {
+		s, err := relation.SchemeOf(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[i] = s
+	}
+	return out
+}
+
+func TestAGMBoundClosedForms(t *testing.T) {
+	cases := []struct {
+		name    string
+		schemes []string
+		sizes   []int
+		want    float64
+	}{
+		// Triangle query R(A,B) ∗ S(B,C) ∗ T(A,C): optimal cover is
+		// x = (1/2, 1/2, 1/2), bound N^{3/2}.
+		{"triangle", []string{"A B", "B C", "A C"}, []int{16, 16, 16}, 64},
+		{"triangle-uneven", []string{"A B", "B C", "A C"}, []int{4, 16, 16}, 32},
+		// Chain R(A,B) ∗ S(B,C): both relations must be fully covered
+		// (A and C each appear once), so the bound is the product.
+		{"chain", []string{"A B", "B C"}, []int{3, 5}, 15},
+		// Cross product: no shared attributes, bound = product.
+		{"cross", []string{"A", "B"}, []int{7, 11}, 77},
+		// Single relation: the join is the relation itself.
+		{"single", []string{"A B"}, []int{42}, 42},
+		// 4-cycle R(A,B) ∗ S(B,C) ∗ T(C,D) ∗ U(D,A): optimal cover picks
+		// two opposite edges, bound N².
+		{"four-cycle", []string{"A B", "B C", "C D", "D A"}, []int{10, 10, 10, 10}, 100},
+		// A relation containing another's scheme covers it for free.
+		{"subsumed", []string{"A B C", "A B"}, []int{8, 3}, 8},
+		// Empty input ⇒ empty join.
+		{"empty-input", []string{"A B", "B C"}, []int{0, 5}, 0},
+		// All-empty schemes: at most the empty tuple.
+		{"empty-schemes", []string{"", ""}, []int{3, 4}, 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := AGMBound(schemes(t, tc.schemes...), tc.sizes)
+			if math.Abs(got-tc.want) > 1e-6*math.Max(1, tc.want) {
+				t.Errorf("AGMBound(%v, %v) = %g, want %g", tc.schemes, tc.sizes, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestAGMBoundDegenerate(t *testing.T) {
+	if got := AGMBound(nil, nil); got != 0 {
+		t.Errorf("AGMBound(nil, nil) = %g, want 0", got)
+	}
+	if got := AGMBound(schemes(t, "A B"), []int{3, 4}); got != 0 {
+		t.Errorf("mismatched slices: AGMBound = %g, want 0", got)
+	}
+}
+
+// TestAGMBoundDominatesActualJoin property-checks the theorem itself: the
+// observed size of a random natural join never exceeds the bound.
+func TestAGMBoundDominatesActualJoin(t *testing.T) {
+	rng := rand.New(rand.NewSource(2008)) // the AGM paper's year
+	shapes := [][]string{
+		{"A B", "B C"},
+		{"A B", "B C", "A C"},
+		{"A B", "B C", "C D", "D A"},
+		{"A B C", "B C D", "A D"},
+	}
+	for trial := 0; trial < 40; trial++ {
+		shape := shapes[trial%len(shapes)]
+		rels := make([]*relation.Relation, len(shape))
+		for i, spec := range shape {
+			s, err := relation.SchemeOf(spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			r := relation.New(s)
+			domain := 2 + rng.Intn(4)
+			for n := rng.Intn(30); n > 0; n-- {
+				vals := make([]string, s.Len())
+				for j := range vals {
+					vals[j] = fmt.Sprintf("v%d", rng.Intn(domain))
+				}
+				r.MustAdd(relation.TupleOf(vals...))
+			}
+			rels[i] = r
+		}
+		out, err := Multi(rels, Hash{}, Greedy, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bound := AGMBoundOf(rels)
+		anyEmpty := false
+		for _, r := range rels {
+			if r.Len() == 0 {
+				anyEmpty = true
+			}
+		}
+		if anyEmpty {
+			if bound != 0 {
+				t.Errorf("trial %d: empty input but bound = %g", trial, bound)
+			}
+			continue
+		}
+		if float64(out.Len()) > bound+1e-6 {
+			t.Errorf("trial %d (%v): |join| = %d exceeds AGM bound %g", trial, shape, out.Len(), bound)
+		}
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"sort"
 
+	"relquery/internal/obs"
 	"relquery/internal/relation"
 )
 
@@ -22,6 +23,17 @@ type Algorithm interface {
 	Name() string
 	// Join returns l ∗ r.
 	Join(l, r *relation.Relation) (*relation.Relation, error)
+}
+
+// Metered is implemented by algorithms that can report per-evaluation
+// counters (tuples built/probed/emitted, partitions, fallbacks) into an
+// obs.Metrics. WithMetrics returns a copy of the algorithm wired to m;
+// the algebra evaluator uses it to attach its collector without the
+// caller naming a concrete algorithm type. All algorithms in this
+// package are Metered.
+type Metered interface {
+	Algorithm
+	WithMetrics(m *obs.Metrics) Algorithm
 }
 
 // ByName returns the algorithm with the given name ("hash", "sortmerge",
@@ -104,13 +116,23 @@ func (k keyExtractor) values(t relation.Tuple) relation.Tuple {
 
 // NestedLoop is the textbook O(|l|·|r|) join. It is the reference
 // implementation the other algorithms are tested against.
-type NestedLoop struct{}
+type NestedLoop struct {
+	// Metrics, when non-nil, receives per-join counters: probed counts
+	// the |l|·|r| pairs examined, built is 0 (no build structure).
+	Metrics *obs.Metrics
+}
 
 // Name implements Algorithm.
 func (NestedLoop) Name() string { return "nestedloop" }
 
+// WithMetrics implements Metered.
+func (nl NestedLoop) WithMetrics(m *obs.Metrics) Algorithm {
+	nl.Metrics = m
+	return nl
+}
+
 // Join implements Algorithm.
-func (NestedLoop) Join(l, r *relation.Relation) (*relation.Relation, error) {
+func (nl NestedLoop) Join(l, r *relation.Relation) (*relation.Relation, error) {
 	shared := l.Scheme().Intersect(r.Scheme())
 	kl := newKeyExtractor(l.Scheme(), shared)
 	kr := newKeyExtractor(r.Scheme(), shared)
@@ -132,18 +154,44 @@ func (NestedLoop) Join(l, r *relation.Relation) (*relation.Relation, error) {
 	if err != nil {
 		return nil, err
 	}
+	nl.Metrics.JoinWork(0, l.Len()*r.Len(), out.Len())
+	nl.Metrics.ObserveJoin(out.Len())
 	return out, nil
 }
 
 // Hash is a classic build/probe hash join on the shared attributes,
 // building on the smaller input.
-type Hash struct{}
+type Hash struct {
+	// Metrics, when non-nil, receives per-join counters: built counts
+	// build-side rows, probed counts probe-side rows.
+	Metrics *obs.Metrics
+}
 
 // Name implements Algorithm.
 func (Hash) Name() string { return "hash" }
 
+// WithMetrics implements Metered.
+func (h Hash) WithMetrics(m *obs.Metrics) Algorithm {
+	h.Metrics = m
+	return h
+}
+
 // Join implements Algorithm.
-func (Hash) Join(l, r *relation.Relation) (*relation.Relation, error) {
+func (h Hash) Join(l, r *relation.Relation) (*relation.Relation, error) {
+	out, err := h.join(l, r)
+	if err != nil {
+		return nil, err
+	}
+	built, probed := l.Len(), r.Len()
+	if built > probed {
+		built, probed = probed, built
+	}
+	h.Metrics.JoinWork(built, probed, out.Len())
+	h.Metrics.ObserveJoin(out.Len())
+	return out, nil
+}
+
+func (h Hash) join(l, r *relation.Relation) (*relation.Relation, error) {
 	shared := l.Scheme().Intersect(r.Scheme())
 	kl := newKeyExtractor(l.Scheme(), shared)
 	kr := newKeyExtractor(r.Scheme(), shared)
@@ -195,13 +243,24 @@ func (Hash) Join(l, r *relation.Relation) (*relation.Relation, error) {
 
 // SortMerge sorts both inputs on the shared-attribute key and merges
 // matching groups.
-type SortMerge struct{}
+type SortMerge struct {
+	// Metrics, when non-nil, receives per-join counters: built counts the
+	// rows sorted (both sides), probed counts the rows consumed by the
+	// merge.
+	Metrics *obs.Metrics
+}
 
 // Name implements Algorithm.
 func (SortMerge) Name() string { return "sortmerge" }
 
+// WithMetrics implements Metered.
+func (sm SortMerge) WithMetrics(m *obs.Metrics) Algorithm {
+	sm.Metrics = m
+	return sm
+}
+
 // Join implements Algorithm.
-func (SortMerge) Join(l, r *relation.Relation) (*relation.Relation, error) {
+func (sm SortMerge) Join(l, r *relation.Relation) (*relation.Relation, error) {
 	shared := l.Scheme().Intersect(r.Scheme())
 	kl := newKeyExtractor(l.Scheme(), shared)
 	kr := newKeyExtractor(r.Scheme(), shared)
@@ -251,5 +310,7 @@ func (SortMerge) Join(l, r *relation.Relation) (*relation.Relation, error) {
 			i, j = i2, j2
 		}
 	}
+	sm.Metrics.JoinWork(l.Len()+r.Len(), l.Len()+r.Len(), out.Len())
+	sm.Metrics.ObserveJoin(out.Len())
 	return out, nil
 }

@@ -13,7 +13,16 @@ import (
 //
 // A Stats is safe for concurrent observation, so one instance can be
 // shared across the parallel evaluator's workers. Read the counters only
-// after evaluation finishes (or via Snapshot).
+// after evaluation finishes (or via Snapshot): the exported fields are
+// guarded by an internal mutex that direct reads bypass, so reading them
+// while an evaluation is still running is a data race.
+//
+// Deprecated: new code should attach an obs.Collector to the evaluator
+// (or pass an obs.Metrics to a Metered algorithm) instead. obs.Metrics
+// supersedes Stats with purely atomic counters — snapshot-while-running
+// is race-free, with no exported-field trap — plus per-algorithm tuple
+// traffic, partition/fallback counts and cache counters. Stats is kept
+// so existing callers and tests compile unchanged.
 type Stats struct {
 	mu sync.Mutex
 	// Joins is the number of binary joins performed.

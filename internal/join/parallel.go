@@ -5,6 +5,7 @@ import (
 	"runtime"
 	"sync"
 
+	"relquery/internal/obs"
 	"relquery/internal/relation"
 )
 
@@ -40,6 +41,11 @@ type Parallel struct {
 	// Workers is the number of partitions and worker goroutines;
 	// values < 1 mean runtime.GOMAXPROCS(0).
 	Workers int
+	// Metrics, when non-nil, receives per-join counters: built and probed
+	// count build- and probe-side rows, and the strategy chosen is
+	// recorded as a partitioned join (with its bucket count), a broadcast
+	// join, or a sequential fallback.
+	Metrics *obs.Metrics
 }
 
 // MinParallelRows is the combined input size below which Parallel
@@ -55,12 +61,22 @@ const PartitionKeyFactor = 8
 // Name implements Algorithm.
 func (Parallel) Name() string { return "parallel" }
 
+// WithMetrics implements Metered.
+func (p Parallel) WithMetrics(m *obs.Metrics) Algorithm {
+	p.Metrics = m
+	return p
+}
+
 func (p Parallel) workers() int {
 	if p.Workers < 1 {
 		return runtime.GOMAXPROCS(0)
 	}
 	return p.Workers
 }
+
+// EffectiveWorkers reports the worker count the join will actually use
+// (resolving the GOMAXPROCS default), for trace annotation.
+func (p Parallel) EffectiveWorkers() int { return p.workers() }
 
 // keyedTuple carries a tuple together with its serialized join key so the
 // key is computed exactly once, during partitioning.
@@ -74,7 +90,8 @@ func (p Parallel) Join(l, r *relation.Relation) (*relation.Relation, error) {
 	shared := l.Scheme().Intersect(r.Scheme())
 	w := p.workers()
 	if w <= 1 || shared.Len() == 0 || l.Len()+r.Len() < MinParallelRows {
-		return Hash{}.Join(l, r)
+		p.Metrics.SequentialFallback()
+		return Hash{Metrics: p.Metrics}.Join(l, r)
 	}
 
 	kl := newKeyExtractor(l.Scheme(), shared)
@@ -99,8 +116,10 @@ func (p Parallel) Join(l, r *relation.Relation) (*relation.Relation, error) {
 
 	var tuples [][]relation.Tuple
 	if len(table) >= PartitionKeyFactor*w {
+		p.Metrics.Partitioned(w)
 		tuples = p.partitioned(table, probe, keyProbe, c, buildIsLeft, w)
 	} else {
+		p.Metrics.Broadcast()
 		tuples = p.broadcast(table, probe, keyProbe, c, buildIsLeft, w)
 	}
 	// Merge in worker order. Output tuples from different chunks/buckets
@@ -108,7 +127,13 @@ func (p Parallel) Join(l, r *relation.Relation) (*relation.Relation, error) {
 	// its source pair, and each pair is processed by exactly one
 	// worker), so FromDistinctTuples assembles the result without
 	// cloning, key serialization or index construction.
-	return relation.FromDistinctTuples(c.out, tuples...)
+	out, err := relation.FromDistinctTuples(c.out, tuples...)
+	if err != nil {
+		return nil, err
+	}
+	p.Metrics.JoinWork(build.Len(), probe.Len(), out.Len())
+	p.Metrics.ObserveJoin(out.Len())
+	return out, nil
 }
 
 // broadcast shares the build table read-only across workers and splits

@@ -1,0 +1,231 @@
+// Package obs is the query-evaluation observability layer: per-evaluation
+// metrics counters and a span tree tracing every operator of a
+// project–join evaluation.
+//
+// The package exists because the paper's central phenomenon — intermediate
+// results exponentially larger than input and output (Cosmadakis 1983,
+// Introduction) — is invisible from a query's result alone. A Collector
+// attached to an algebra.Evaluator records, per operator, the observed
+// cardinalities, wall time, join algorithm, cache status and worker count,
+// and accumulates evaluation-wide counters (tuples built/probed/emitted,
+// partitions, broadcast and sequential fallbacks, cache hits/misses).
+// algebra.ExplainAnalyze renders the span tree; cmd/relquery -trace emits
+// it as JSON.
+//
+// # Zero-overhead contract
+//
+// Every method in this package is safe to call on a nil receiver and does
+// nothing there. Instrumented code therefore needs no conditionals: it
+// threads a possibly-nil *Collector (or *Span, or *Metrics) through and
+// calls methods unconditionally. With no collector attached the entire
+// layer reduces to nil checks — no allocation, no clock reads, no atomics
+// — which is what keeps the instrumented engine within noise of the
+// uninstrumented one (see BenchmarkE9ParallelEval and BENCH_obs.txt).
+//
+// obs sits below every engine package: it imports only the standard
+// library, so internal/join, internal/algebra and internal/decide can all
+// report into it without cycles.
+package obs
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Metrics accumulates evaluation-wide counters. All updates are atomic, so
+// one Metrics can be shared by the parallel evaluator's workers and — the
+// fix over the old mutex-plus-exported-fields join.Stats — snapshotted
+// race-free while evaluation is still running.
+//
+// All methods are nil-safe no-ops, per the package's zero-overhead
+// contract.
+type Metrics struct {
+	joins              atomic.Int64
+	maxIntermediate    atomic.Int64
+	intermediateTuples atomic.Int64
+
+	tuplesBuilt   atomic.Int64
+	tuplesProbed  atomic.Int64
+	tuplesEmitted atomic.Int64
+
+	partitionedJoins    atomic.Int64
+	partitions          atomic.Int64
+	broadcastJoins      atomic.Int64
+	sequentialFallbacks atomic.Int64
+
+	cacheHits          atomic.Int64
+	cacheMisses        atomic.Int64
+	cacheInvalidations atomic.Int64
+}
+
+// ObserveJoin records one binary join producing out tuples: it counts the
+// join and folds the output size into the intermediate-result statistics.
+func (m *Metrics) ObserveJoin(out int) {
+	if m == nil {
+		return
+	}
+	m.joins.Add(1)
+	m.observeIntermediate(out)
+}
+
+// ObserveIntermediate folds an intermediate relation's cardinality (a
+// projection output, or a join node's passthrough input) into
+// MaxIntermediate and IntermediateTuples without counting a join.
+func (m *Metrics) ObserveIntermediate(rows int) {
+	if m == nil {
+		return
+	}
+	m.observeIntermediate(rows)
+}
+
+func (m *Metrics) observeIntermediate(rows int) {
+	n := int64(rows)
+	m.intermediateTuples.Add(n)
+	for {
+		cur := m.maxIntermediate.Load()
+		if n <= cur || m.maxIntermediate.CompareAndSwap(cur, n) {
+			return
+		}
+	}
+}
+
+// JoinWork records one binary join's tuple traffic. The exact meaning of
+// built/probed is per algorithm (hash: build-side and probe-side rows;
+// nested loop: 0 and pairs examined; sort-merge: rows sorted and rows
+// merged); emitted is always the output cardinality.
+func (m *Metrics) JoinWork(built, probed, emitted int) {
+	if m == nil {
+		return
+	}
+	m.tuplesBuilt.Add(int64(built))
+	m.tuplesProbed.Add(int64(probed))
+	m.tuplesEmitted.Add(int64(emitted))
+}
+
+// Partitioned records that a parallel join ran the partitioned strategy
+// over the given number of buckets.
+func (m *Metrics) Partitioned(buckets int) {
+	if m == nil {
+		return
+	}
+	m.partitionedJoins.Add(1)
+	m.partitions.Add(int64(buckets))
+}
+
+// Broadcast records that a parallel join fell back to the broadcast
+// strategy (shared build table, chunked probe side).
+func (m *Metrics) Broadcast() {
+	if m == nil {
+		return
+	}
+	m.broadcastJoins.Add(1)
+}
+
+// SequentialFallback records that a parallel join delegated to the
+// sequential hash join (tiny inputs or no shared attributes).
+func (m *Metrics) SequentialFallback() {
+	if m == nil {
+		return
+	}
+	m.sequentialFallbacks.Add(1)
+}
+
+// CacheHit records a subexpression served from a cache (the per-call memo
+// or the shared fingerprint-keyed cache) without re-evaluation.
+func (m *Metrics) CacheHit() {
+	if m == nil {
+		return
+	}
+	m.cacheHits.Add(1)
+}
+
+// CacheMiss records a subexpression that had to be evaluated.
+func (m *Metrics) CacheMiss() {
+	if m == nil {
+		return
+	}
+	m.cacheMisses.Add(1)
+}
+
+// CacheInvalidated records n cache entries dropped (shared-cache reset or
+// fingerprint change).
+func (m *Metrics) CacheInvalidated(n int) {
+	if m == nil {
+		return
+	}
+	m.cacheInvalidations.Add(int64(n))
+}
+
+// Snapshot returns a consistent-enough copy of the counters: each field is
+// read atomically, so reading concurrently with a running evaluation is
+// race-free (fields may be mutually skewed by in-flight updates, which is
+// inherent to any non-stop-the-world snapshot). The zero snapshot is
+// returned for a nil receiver.
+func (m *Metrics) Snapshot() MetricsSnapshot {
+	if m == nil {
+		return MetricsSnapshot{}
+	}
+	return MetricsSnapshot{
+		Joins:               m.joins.Load(),
+		MaxIntermediate:     m.maxIntermediate.Load(),
+		IntermediateTuples:  m.intermediateTuples.Load(),
+		TuplesBuilt:         m.tuplesBuilt.Load(),
+		TuplesProbed:        m.tuplesProbed.Load(),
+		TuplesEmitted:       m.tuplesEmitted.Load(),
+		PartitionedJoins:    m.partitionedJoins.Load(),
+		Partitions:          m.partitions.Load(),
+		BroadcastJoins:      m.broadcastJoins.Load(),
+		SequentialFallbacks: m.sequentialFallbacks.Load(),
+		CacheHits:           m.cacheHits.Load(),
+		CacheMisses:         m.cacheMisses.Load(),
+		CacheInvalidations:  m.cacheInvalidations.Load(),
+	}
+}
+
+// MetricsSnapshot is a plain-value copy of a Metrics, ready for JSON
+// encoding or printing.
+type MetricsSnapshot struct {
+	// Joins is the number of binary joins performed.
+	Joins int64 `json:"joins"`
+	// MaxIntermediate is the largest cardinality of any intermediate
+	// relation produced (including the final result) — the paper's
+	// headline number.
+	MaxIntermediate int64 `json:"max_intermediate"`
+	// IntermediateTuples totals the cardinalities of all intermediate
+	// results.
+	IntermediateTuples int64 `json:"intermediate_tuples"`
+	// TuplesBuilt counts rows inserted into build-side structures.
+	TuplesBuilt int64 `json:"tuples_built"`
+	// TuplesProbed counts rows scanned against build-side structures.
+	TuplesProbed int64 `json:"tuples_probed"`
+	// TuplesEmitted counts rows emitted by binary joins.
+	TuplesEmitted int64 `json:"tuples_emitted"`
+	// PartitionedJoins counts parallel joins that ran partitioned.
+	PartitionedJoins int64 `json:"partitioned_joins"`
+	// Partitions totals the buckets used by partitioned joins.
+	Partitions int64 `json:"partitions"`
+	// BroadcastJoins counts parallel joins that ran broadcast.
+	BroadcastJoins int64 `json:"broadcast_joins"`
+	// SequentialFallbacks counts parallel joins that delegated to the
+	// sequential hash join.
+	SequentialFallbacks int64 `json:"sequential_fallbacks"`
+	// CacheHits counts subexpressions served from a cache.
+	CacheHits int64 `json:"cache_hits"`
+	// CacheMisses counts subexpressions that were evaluated.
+	CacheMisses int64 `json:"cache_misses"`
+	// CacheInvalidations counts cache entries dropped.
+	CacheInvalidations int64 `json:"cache_invalidations"`
+}
+
+// String renders the snapshot as a single stats line.
+func (s MetricsSnapshot) String() string {
+	return fmt.Sprintf(
+		"joins=%d max_intermediate=%d intermediate_tuples=%d "+
+			"built=%d probed=%d emitted=%d "+
+			"partitioned=%d partitions=%d broadcast=%d seq_fallback=%d "+
+			"cache_hits=%d cache_misses=%d cache_invalidations=%d",
+		s.Joins, s.MaxIntermediate, s.IntermediateTuples,
+		s.TuplesBuilt, s.TuplesProbed, s.TuplesEmitted,
+		s.PartitionedJoins, s.Partitions, s.BroadcastJoins, s.SequentialFallbacks,
+		s.CacheHits, s.CacheMisses, s.CacheInvalidations)
+}

@@ -1,0 +1,218 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"sync"
+	"testing"
+)
+
+// TestNilSafety exercises every method on nil receivers: the zero-overhead
+// contract says instrumented code may call them unconditionally.
+func TestNilSafety(t *testing.T) {
+	var c *Collector
+	if sp := c.Start(OpJoin, "x"); sp != nil {
+		t.Fatalf("nil Collector.Start = %v, want nil", sp)
+	}
+	if m := c.M(); m != nil {
+		t.Fatalf("nil Collector.M = %v, want nil", m)
+	}
+	if tr := c.Trace(); tr != nil {
+		t.Fatalf("nil Collector.Trace = %v, want nil", tr)
+	}
+
+	var m *Metrics
+	m.ObserveJoin(3)
+	m.ObserveIntermediate(5)
+	m.JoinWork(1, 2, 3)
+	m.Partitioned(8)
+	m.Broadcast()
+	m.SequentialFallback()
+	m.CacheHit()
+	m.CacheMiss()
+	m.CacheInvalidated(2)
+	if snap := m.Snapshot(); snap != (MetricsSnapshot{}) {
+		t.Fatalf("nil Metrics.Snapshot = %+v, want zero", snap)
+	}
+
+	var sp *Span
+	if child := sp.Child(OpScan, "T"); child != nil {
+		t.Fatalf("nil Span.Child = %v, want nil", child)
+	}
+	sp.Begin()
+	sp.Finish(7)
+	sp.SetSchemeWidth(2)
+	sp.SetInputs([]int{1, 2})
+	sp.SetAlgorithm("hash", 4)
+	sp.SetCache(CacheHit)
+	sp.SetAGMBound(64)
+	sp.ObservePeak(9)
+	sp.SetErr(errors.New("boom"))
+	if sp.Wall() != 0 {
+		t.Fatalf("nil Span.Wall = %v, want 0", sp.Wall())
+	}
+}
+
+func TestMetricsCounters(t *testing.T) {
+	var m Metrics
+	m.ObserveJoin(10)
+	m.ObserveJoin(40)
+	m.ObserveIntermediate(25)
+	m.JoinWork(3, 7, 50)
+	m.Partitioned(8)
+	m.Partitioned(8)
+	m.Broadcast()
+	m.SequentialFallback()
+	m.CacheHit()
+	m.CacheMiss()
+	m.CacheMiss()
+	m.CacheInvalidated(4)
+
+	got := m.Snapshot()
+	want := MetricsSnapshot{
+		Joins:               2,
+		MaxIntermediate:     40,
+		IntermediateTuples:  75,
+		TuplesBuilt:         3,
+		TuplesProbed:        7,
+		TuplesEmitted:       50,
+		PartitionedJoins:    2,
+		Partitions:          16,
+		BroadcastJoins:      1,
+		SequentialFallbacks: 1,
+		CacheHits:           1,
+		CacheMisses:         2,
+		CacheInvalidations:  4,
+	}
+	if got != want {
+		t.Fatalf("Snapshot = %+v, want %+v", got, want)
+	}
+}
+
+// TestSnapshotConcurrent snapshots while writers are running: the atomic
+// counters must stay race-free (run under -race) and the final snapshot
+// must be exact.
+func TestSnapshotConcurrent(t *testing.T) {
+	var m Metrics
+	const workers, perWorker = 8, 1000
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				_ = m.Snapshot() // mid-run snapshot, the old join.Stats race
+			}
+		}
+	}()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				m.ObserveJoin(w*perWorker + i)
+				m.JoinWork(1, 1, 1)
+				m.CacheMiss()
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+
+	snap := m.Snapshot()
+	if snap.Joins != workers*perWorker {
+		t.Errorf("Joins = %d, want %d", snap.Joins, workers*perWorker)
+	}
+	if want := int64(workers*perWorker - 1); snap.MaxIntermediate != want {
+		t.Errorf("MaxIntermediate = %d, want %d", snap.MaxIntermediate, want)
+	}
+	if snap.TuplesEmitted != workers*perWorker {
+		t.Errorf("TuplesEmitted = %d, want %d", snap.TuplesEmitted, workers*perWorker)
+	}
+}
+
+func TestSpanTreeAndJSON(t *testing.T) {
+	c := &Collector{}
+	root := c.Start(OpProject, "pi[A C]")
+	root.Begin()
+	root.SetSchemeWidth(2)
+	j := root.Child(OpJoin, "* (natural join, 2 inputs)")
+	j.Begin()
+	l := j.Child(OpScan, "L")
+	r := j.Child(OpScan, "R")
+	l.Begin()
+	l.Finish(3)
+	r.Begin()
+	r.Finish(4)
+	j.SetInputs([]int{3, 4})
+	j.SetAlgorithm("hash", 0)
+	j.SetAGMBound(12)
+	j.Finish(5)
+	root.SetInputs([]int{5})
+	root.Finish(2)
+	c.M().ObserveJoin(5)
+
+	tr := c.Trace()
+	if tr.Root() != root {
+		t.Fatalf("Trace.Root = %v, want the started root", tr.Root())
+	}
+	if got := len(root.Children); got != 1 {
+		t.Fatalf("root has %d children, want 1", got)
+	}
+	if got := root.Children[0].Children; len(got) != 2 || got[0] != l || got[1] != r {
+		t.Fatalf("join children = %v, want [L R] in order", got)
+	}
+
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	var decoded struct {
+		Trace []struct {
+			Op       string `json:"op"`
+			Label    string `json:"label"`
+			Children []struct {
+				Op        string  `json:"op"`
+				Algorithm string  `json:"algorithm"`
+				AGMBound  float64 `json:"agm_bound"`
+				InputRows []int   `json:"input_rows"`
+			} `json:"children"`
+		} `json:"trace"`
+		Metrics MetricsSnapshot `json:"metrics"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("trace JSON does not parse: %v\n%s", err, buf.String())
+	}
+	if len(decoded.Trace) != 1 || decoded.Trace[0].Op != OpProject {
+		t.Fatalf("decoded roots = %+v, want one project root", decoded.Trace)
+	}
+	jd := decoded.Trace[0].Children[0]
+	if jd.Op != OpJoin || jd.Algorithm != "hash" || jd.AGMBound != 12 {
+		t.Errorf("decoded join span = %+v", jd)
+	}
+	if len(jd.InputRows) != 2 || jd.InputRows[0] != 3 || jd.InputRows[1] != 4 {
+		t.Errorf("decoded InputRows = %v, want [3 4]", jd.InputRows)
+	}
+	if decoded.Metrics.Joins != 1 {
+		t.Errorf("decoded metrics joins = %d, want 1", decoded.Metrics.Joins)
+	}
+}
+
+func TestSpanErrAndCache(t *testing.T) {
+	sp := &Span{Op: OpJoin, Label: "*"}
+	sp.SetErr(nil)
+	if sp.Err != "" {
+		t.Errorf("SetErr(nil) set Err = %q", sp.Err)
+	}
+	sp.SetErr(errors.New("budget exceeded"))
+	if sp.Err != "budget exceeded" {
+		t.Errorf("Err = %q", sp.Err)
+	}
+	sp.SetCache(CacheMiss)
+	if sp.Cache != CacheMiss {
+		t.Errorf("Cache = %q", sp.Cache)
+	}
+}

@@ -1,0 +1,249 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// Span operator kinds, mirroring the algebra's node types.
+const (
+	OpScan    = "scan"    // base-relation lookup
+	OpProject = "project" // projection π
+	OpJoin    = "join"    // natural join ∗ (one span per n-ary node)
+)
+
+// Span cache statuses. Empty means caching was off for the node.
+const (
+	CacheHit  = "hit"
+	CacheMiss = "miss"
+)
+
+// Span is one operator's execution record. A span tree mirrors the
+// evaluated expression tree: a join span's children are its argument
+// subtrees, a projection span's child is its input. A node served from a
+// cache gets a span with Cache == CacheHit and no children — the subtree
+// was not executed.
+//
+// Spans are created by the evaluator strictly in argument order (before
+// any worker goroutine starts), so Children order is deterministic even
+// under parallel evaluation; concurrent mutation of a span's fields is
+// confined to the single goroutine evaluating that node.
+//
+// All methods are nil-safe no-ops, per the package's zero-overhead
+// contract.
+type Span struct {
+	// Op is the operator kind: OpScan, OpProject or OpJoin.
+	Op string `json:"op"`
+	// Label is the operator's display label (relation name, projection
+	// scheme, join arity).
+	Label string `json:"label"`
+	// SchemeWidth is the number of attributes of the node's output scheme.
+	SchemeWidth int `json:"scheme_width,omitempty"`
+	// InputRows holds the observed cardinality of each input, in argument
+	// order.
+	InputRows []int `json:"input_rows,omitempty"`
+	// OutputRows is the observed output cardinality.
+	OutputRows int `json:"output_rows"`
+	// WallNanos is the node's wall-clock evaluation time, including its
+	// subtree.
+	WallNanos int64 `json:"wall_ns"`
+	// Algorithm names the binary-join algorithm used (join spans only).
+	Algorithm string `json:"algorithm,omitempty"`
+	// Workers is the parallel worker count in effect (join spans, parallel
+	// engine only).
+	Workers int `json:"workers,omitempty"`
+	// Cache is CacheHit or CacheMiss when subexpression caching was on.
+	Cache string `json:"cache,omitempty"`
+	// AGMBound is the Atserias–Grohe–Marx worst-case output bound for a
+	// join span, computed from the observed input cardinalities and
+	// schemes: no instance with these input sizes can join to more tuples.
+	// Comparing OutputRows against it shows how close the workload sits to
+	// the theoretical blow-up ceiling.
+	AGMBound float64 `json:"agm_bound,omitempty"`
+	// MaxIntermediate is the largest binary-join output materialized while
+	// evaluating this n-ary join span. This is where the paper's blow-up
+	// shows: on the gadget queries it dwarfs the span's OutputRows.
+	MaxIntermediate int `json:"max_intermediate,omitempty"`
+	// Err records the node's evaluation error, if any (budget aborts show
+	// up here).
+	Err string `json:"error,omitempty"`
+	// Children are the executed child operators, in argument order.
+	Children []*Span `json:"children,omitempty"`
+
+	mu    sync.Mutex
+	start time.Time
+}
+
+// Child appends and returns a new child span. Callers must create the
+// children of one span from a single goroutine (the evaluator creates
+// them before fanning out workers).
+func (s *Span) Child(op, label string) *Span {
+	if s == nil {
+		return nil
+	}
+	c := &Span{Op: op, Label: label}
+	s.mu.Lock()
+	s.Children = append(s.Children, c)
+	s.mu.Unlock()
+	return c
+}
+
+// Begin marks the start of the node's evaluation.
+func (s *Span) Begin() {
+	if s == nil {
+		return
+	}
+	s.start = time.Now()
+}
+
+// Finish records the node's wall time and observed output cardinality.
+func (s *Span) Finish(outputRows int) {
+	if s == nil {
+		return
+	}
+	s.WallNanos = time.Since(s.start).Nanoseconds()
+	s.OutputRows = outputRows
+}
+
+// SetSchemeWidth records the node's output-scheme width.
+func (s *Span) SetSchemeWidth(w int) {
+	if s == nil {
+		return
+	}
+	s.SchemeWidth = w
+}
+
+// SetInputs records the observed input cardinalities in argument order.
+func (s *Span) SetInputs(rows []int) {
+	if s == nil {
+		return
+	}
+	s.InputRows = rows
+}
+
+// SetAlgorithm records the join algorithm and parallel worker count.
+func (s *Span) SetAlgorithm(name string, workers int) {
+	if s == nil {
+		return
+	}
+	s.Algorithm = name
+	s.Workers = workers
+}
+
+// SetCache records the node's cache status (CacheHit or CacheMiss).
+func (s *Span) SetCache(status string) {
+	if s == nil {
+		return
+	}
+	s.Cache = status
+}
+
+// ObservePeak folds one binary-join output cardinality into the span's
+// MaxIntermediate. Called from the single goroutine evaluating the node.
+func (s *Span) ObservePeak(rows int) {
+	if s == nil {
+		return
+	}
+	if rows > s.MaxIntermediate {
+		s.MaxIntermediate = rows
+	}
+}
+
+// SetAGMBound records the AGM worst-case output bound for a join span.
+func (s *Span) SetAGMBound(bound float64) {
+	if s == nil {
+		return
+	}
+	s.AGMBound = bound
+}
+
+// SetErr records the node's evaluation error.
+func (s *Span) SetErr(err error) {
+	if s == nil || err == nil {
+		return
+	}
+	s.Err = err.Error()
+}
+
+// Wall returns the span's wall time as a duration.
+func (s *Span) Wall() time.Duration {
+	if s == nil {
+		return 0
+	}
+	return time.Duration(s.WallNanos)
+}
+
+// Collector gathers one (or more) evaluations' spans and metrics. The
+// zero value is ready to use; a nil *Collector is a valid "tracing off"
+// collector on which every method no-ops. A Collector must not be reused
+// across concurrent Eval calls that should produce separate traces — use
+// one Collector per traced evaluation.
+type Collector struct {
+	// Metrics accumulates the evaluation-wide counters.
+	Metrics Metrics
+
+	mu    sync.Mutex
+	roots []*Span
+}
+
+// Start opens a root span for one evaluation and returns it.
+func (c *Collector) Start(op, label string) *Span {
+	if c == nil {
+		return nil
+	}
+	s := &Span{Op: op, Label: label}
+	c.mu.Lock()
+	c.roots = append(c.roots, s)
+	c.mu.Unlock()
+	return s
+}
+
+// M returns the collector's metrics, or nil for a nil collector, so
+// instrumented code can call metric methods unconditionally.
+func (c *Collector) M() *Metrics {
+	if c == nil {
+		return nil
+	}
+	return &c.Metrics
+}
+
+// Trace snapshots the collector into a serializable Trace. The span
+// pointers are shared, not copied: take the trace after evaluation
+// finishes (or accept in-flight spans).
+func (c *Collector) Trace() *Trace {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	roots := make([]*Span, len(c.roots))
+	copy(roots, c.roots)
+	c.mu.Unlock()
+	return &Trace{Roots: roots, Metrics: c.Metrics.Snapshot()}
+}
+
+// Trace is a finished evaluation's span tree plus its metrics, the
+// payload of cmd/relquery -trace.
+type Trace struct {
+	// Roots holds one span tree per Eval call observed by the collector
+	// (usually exactly one).
+	Roots []*Span `json:"trace"`
+	// Metrics is the counters snapshot taken with the trace.
+	Metrics MetricsSnapshot `json:"metrics"`
+}
+
+// Root returns the first (usually only) root span, or nil.
+func (t *Trace) Root() *Span {
+	if t == nil || len(t.Roots) == 0 {
+		return nil
+	}
+	return t.Roots[0]
+}
+
+// WriteJSON writes the trace as indented JSON.
+func (t *Trace) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(t)
+}

@@ -28,6 +28,7 @@ import (
 	"relquery/internal/decide"
 	"relquery/internal/deps"
 	"relquery/internal/join"
+	"relquery/internal/obs"
 	"relquery/internal/qbf"
 	"relquery/internal/reduction"
 	"relquery/internal/relation"
@@ -99,7 +100,26 @@ type (
 	// Evaluator materializes expressions with pluggable join strategy.
 	Evaluator = algebra.Evaluator
 	// JoinStats accumulates intermediate-result statistics.
+	//
+	// Deprecated: attach a Collector to the Evaluator and read
+	// Collector.Metrics instead; see internal/obs.
 	JoinStats = join.Stats
+)
+
+// Observability (see internal/obs).
+type (
+	// Collector gathers an evaluation's span tree and metrics; attach one
+	// to an Evaluator to trace it.
+	Collector = obs.Collector
+	// TraceSpan is one operator's trace record.
+	TraceSpan = obs.Span
+	// Trace is a finished evaluation's span tree plus metrics snapshot;
+	// Trace.WriteJSON emits the cmd/relquery -trace format.
+	Trace = obs.Trace
+	// EvalMetrics is the per-evaluation atomic counter set.
+	EvalMetrics = obs.Metrics
+	// EvalMetricsSnapshot is a plain-value copy of EvalMetrics.
+	EvalMetricsSnapshot = obs.MetricsSnapshot
 )
 
 var (
@@ -121,8 +141,17 @@ var (
 	// elimination and join deduplication, preserving its value.
 	Optimize = algebra.Optimize
 	// Explain renders an expression's operator tree with actual node
-	// cardinalities (EXPLAIN ANALYZE).
+	// cardinalities (it re-evaluates every subtree).
 	Explain = algebra.Explain
+	// ExplainAnalyze evaluates once under a tracing collector and renders
+	// the executed tree annotated with observed cardinalities, wall time,
+	// join algorithm, cache status and AGM size bounds.
+	ExplainAnalyze = algebra.ExplainAnalyze
+	// RenderTrace renders a collected Trace in the ExplainAnalyze format.
+	RenderTrace = algebra.RenderTrace
+	// AGMBound computes the Atserias–Grohe–Marx worst-case output-size
+	// bound for a natural join of the given relations.
+	AGMBound = join.AGMBoundOf
 )
 
 // Tableaux (see internal/tableau).
