@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench trace fmt ci
+.PHONY: build test race bench wcoj-bench trace fmt ci
 
 build:
 	$(GO) build ./...
@@ -15,6 +15,24 @@ race:
 # measurements raise -benchtime and pin -cpu.
 bench:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
+
+# Regenerate BENCH_wcoj.txt: the greedy-vs-wcoj comparison on the
+# Lemma 1 blow-up families, with the per-configuration peak_rows and
+# agm_bound metrics that show the intermediate collapse. CI uploads the
+# file as an artifact.
+wcoj-bench:
+	{ \
+	  echo "Worst-case-optimal generic join vs greedy binary plan (ISSUE 4)"; \
+	  echo "================================================================"; \
+	  echo; \
+	  echo "Regenerate with: make wcoj-bench"; \
+	  echo "peak_rows is the largest join cardinality any node materialized"; \
+	  echo "(trace MaxIntermediate/OutputRows); agm_bound is the root join"; \
+	  echo "node's AGM bound. The wcoj/auto rows must keep peak_rows at or"; \
+	  echo "below the final output — never the greedy plan's blow-up."; \
+	  echo; \
+	  $(GO) test -run '^$$' -bench 'WCOJLemma1|GenericJoinDirect' -benchtime 10x -count 1 -benchmem .; \
+	} | tee BENCH_wcoj.txt
 
 # Run the E7 blow-up experiment with tracing on, leaving the JSON
 # evaluation trace (span tree + metrics) in trace_e7.json — the same

@@ -22,6 +22,9 @@ type EvalOptions struct {
 	// Cache memoizes structurally identical subexpressions within each
 	// Eval call (see Evaluator.Cache).
 	Cache bool
+	// AutoWCOJ lets blow-up-prone n-ary join nodes switch to the
+	// worst-case-optimal generic join (see Evaluator.AutoWCOJ).
+	AutoWCOJ bool
 	// Collector, when non-nil, traces the evaluation (see
 	// Evaluator.Collector).
 	Collector *obs.Collector
@@ -30,7 +33,7 @@ type EvalOptions struct {
 // NewEvaluator returns an evaluator configured by the options, with
 // default join algorithm and order.
 func (o EvalOptions) NewEvaluator() *Evaluator {
-	return &Evaluator{Parallelism: o.Parallelism, Cache: o.Cache, Collector: o.Collector}
+	return &Evaluator{Parallelism: o.Parallelism, Cache: o.Cache, AutoWCOJ: o.AutoWCOJ, Collector: o.Collector}
 }
 
 // Evaluator materializes project–join expressions against a database. The
@@ -53,6 +56,16 @@ type Evaluator struct {
 	// ErrBudgetExceeded as soon as any intermediate relation exceeds that
 	// many tuples. It is the guard rail for exponential blow-up.
 	MaxIntermediate int
+	// AutoWCOJ, when true, lets each n-ary join node of three or more
+	// inputs switch to the worst-case-optimal generic join (join.Generic)
+	// when the greedy binary planner's estimated peak intermediate
+	// (join.PredictedPeakGreedy) exceeds the node's AGM output bound —
+	// the regime of the paper's Lemma 1 gadgets, where every binary plan
+	// is predicted to materialize more than the n-ary output justifies.
+	// Nodes below that threshold keep the configured binary algorithm.
+	// Set Algorithm to join.Generic{} to force the generic join on every
+	// join node instead.
+	AutoWCOJ bool
 	// SemijoinPrefilter, when true, runs pairwise semijoin reduction to
 	// fixpoint over each n-ary join's inputs before joining. The filter is
 	// always sound; it is complete (removes every dangling tuple) exactly
@@ -344,6 +357,26 @@ func (ev *Evaluator) multi(args []*relation.Relation, sp *obs.Span) (*relation.R
 			m.ObserveIntermediate(args[0].Len())
 		}
 	}
+	if len(args) > 1 {
+		if g, forced := alg.(join.Generic); forced {
+			return ev.multiGeneric(g, args, sp)
+		}
+		if ev.AutoWCOJ && len(args) > 2 {
+			// Binary joins cannot exceed their own AGM bound, so only
+			// 3+-ary nodes can blow up past the n-ary bound. The peak is
+			// predicted two ways: System R estimates (catches workloads
+			// whose statistics already promise large intermediates) and
+			// the worst-case AGM bound of each greedy accumulator
+			// (catches the Lemma 1 gadgets, whose correlations defeat
+			// the independence assumption behind the estimates).
+			if bound := join.AGMBoundOf(args); bound > 0 {
+				peak := max(join.PredictedPeakGreedy(args), join.WorstCasePeakGreedy(args))
+				if peak > bound {
+					return ev.multiGeneric(join.Generic{Metrics: ev.Collector.M()}, args, sp)
+				}
+			}
+		}
+	}
 	if sp != nil {
 		// The AGM bound is a function of the joined inputs (post
 		// prefilter — those are the relations actually joined).
@@ -363,6 +396,30 @@ func (ev *Evaluator) multi(args []*relation.Relation, sp *obs.Span) (*relation.R
 		alg = budgetAlgorithm{inner: alg, max: ev.MaxIntermediate}
 	}
 	return join.Multi(args, alg, ev.Order, ev.Stats)
+}
+
+// multiGeneric evaluates an n-ary join node with the worst-case-optimal
+// generic join: one attribute-at-a-time pass, no binary intermediates, so
+// the node's peak materialization is its own output — by construction at
+// most the AGM bound the span records.
+func (ev *Evaluator) multiGeneric(g join.Generic, args []*relation.Relation, sp *obs.Span) (*relation.Relation, error) {
+	if sp != nil {
+		sp.SetAGMBound(join.AGMBoundOf(args))
+		sp.SetAlgorithm(g.Name(), 0)
+	}
+	out, gs, err := g.JoinAllStats(args)
+	if err != nil {
+		return nil, err
+	}
+	if sp != nil {
+		sp.ObservePeak(out.Len())
+		sp.SetWCOJ(gs.Candidates, gs.Intersections)
+	}
+	ev.Stats.Observe(out)
+	if err := ev.check(out); err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // spanObserver wraps an Algorithm and folds every binary-join output into

@@ -141,6 +141,9 @@ func renderSpan(b *strings.Builder, sp *obs.Span, prefix, childPrefix string) {
 	if sp.Workers > 0 {
 		fmt.Fprintf(b, " workers=%d", sp.Workers)
 	}
+	if sp.Candidates > 0 || sp.Intersections > 0 {
+		fmt.Fprintf(b, " candidates=%d intersections=%d", sp.Candidates, sp.Intersections)
+	}
 	if sp.MaxIntermediate > sp.OutputRows {
 		fmt.Fprintf(b, " peak=%d", sp.MaxIntermediate)
 	}

@@ -23,8 +23,17 @@ func CardAtLeast(phi algebra.Expr, db relation.Database, d int, b Budget) (bool,
 	if err != nil {
 		return false, err
 	}
-	_ = exhausted
-	return distinct >= d, nil
+	if distinct >= d {
+		return true, nil
+	}
+	// streamDistinct stops early only on reaching d distinct tuples
+	// (handled above) or on the budget (an error); fewer than d distinct
+	// without exhausting the valuation tree would be a definitive "no"
+	// the search cannot justify.
+	if !exhausted {
+		return false, fmt.Errorf("decide: internal error: bounded search stopped with %d < %d distinct tuples", distinct, d)
+	}
+	return false, nil
 }
 
 // CardAtMost decides |φ(db)| ≤ d — co-NP-complete (refute by finding d+1

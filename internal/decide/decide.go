@@ -42,9 +42,17 @@ type budgetCounter struct {
 	visited int
 }
 
+// tick admits one more visited tuple, refusing once the limit is
+// reached. The gate runs before the counter moves, so a refused tuple is
+// never counted: visited reports exactly how many tuples were examined,
+// and a search that decides on its k-th visit succeeds under
+// Budget{MaxTuples: k}.
 func (b *budgetCounter) tick() bool {
+	if b.limit > 0 && b.visited >= b.limit {
+		return false
+	}
 	b.visited++
-	return b.limit <= 0 || b.visited <= b.limit
+	return true
 }
 
 // Member reports whether the named tuple belongs to φ(db) — the paper's

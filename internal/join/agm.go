@@ -26,12 +26,25 @@ import (
 // mismatched, and 1 when every scheme is empty (the join holds at most
 // the empty tuple).
 func AGMBound(schemes []relation.Scheme, sizes []int) float64 {
+	_, bound := FractionalCover(schemes, sizes)
+	return bound
+}
+
+// FractionalCover returns a minimizing fractional edge cover x — one
+// weight per relation, with Σ_{i: a ∈ scheme_i} x_i ≥ 1 for every
+// attribute a — together with the resulting AGM bound ∏ |R_i|^{x_i}. The
+// cover is what the worst-case-optimal join's attribute order consults:
+// attributes covered by heavily weighted relations are the ones the bound
+// charges. Degenerate inputs follow AGMBound: a nil cover with bound 0
+// for empty/mismatched slices or any empty relation, an all-zero cover
+// with bound 1 when every scheme is empty.
+func FractionalCover(schemes []relation.Scheme, sizes []int) ([]float64, float64) {
 	if len(schemes) == 0 || len(schemes) != len(sizes) {
-		return 0
+		return nil, 0
 	}
 	for _, s := range sizes {
 		if s <= 0 {
-			return 0
+			return nil, 0
 		}
 	}
 	var attrs []relation.Attribute
@@ -45,7 +58,7 @@ func AGMBound(schemes []relation.Scheme, sizes []int) float64 {
 		}
 	}
 	if len(attrs) == 0 {
-		return 1
+		return make([]float64, len(schemes)), 1
 	}
 	cover := make([][]bool, len(attrs))
 	for r, a := range attrs {
@@ -58,7 +71,8 @@ func AGMBound(schemes []relation.Scheme, sizes []int) float64 {
 	for i, s := range sizes {
 		w[i] = math.Log2(float64(s))
 	}
-	return math.Exp2(solveCovering(cover, w))
+	opt, x := solveCovering(cover, w)
+	return x, math.Exp2(opt)
 }
 
 // AGMBoundOf is AGMBound over materialized relations.
@@ -79,12 +93,12 @@ const lpEps = 1e-9
 //	min w·x   subject to   cover·x ≥ 1,  x ≥ 0
 //
 // where cover is a 0/1 incidence matrix (one row per constraint, one
-// column per variable) and w ≥ 0, returning the optimal objective value.
-// Every row must have at least one true entry (x = 1 is then feasible).
-// The solver is a dense two-phase primal simplex with Bland's rule, ample
-// for the tiny instances a join node produces (k relations × a few dozen
-// attributes).
-func solveCovering(cover [][]bool, w []float64) float64 {
+// column per variable) and w ≥ 0, returning the optimal objective value
+// and an optimal x. Every row must have at least one true entry (x = 1 is
+// then feasible). The solver is a dense two-phase primal simplex with
+// Bland's rule, ample for the tiny instances a join node produces (k
+// relations × a few dozen attributes).
+func solveCovering(cover [][]bool, w []float64) (float64, []float64) {
 	m := len(cover) // constraints
 	k := len(w)     // structural variables
 	n := k + m + m  // x, surplus, artificial
@@ -139,10 +153,14 @@ func solveCovering(cover [][]bool, w []float64) float64 {
 	simplexMin(tab, basis, phase2, func(j int) bool { return j >= k+m })
 
 	opt := 0.0
+	x := make([]float64, k)
 	for r := 0; r < m; r++ {
 		opt += phase2[basis[r]] * tab[r][n]
+		if basis[r] < k {
+			x[basis[r]] = tab[r][n]
+		}
 	}
-	return opt
+	return opt, x
 }
 
 // simplexMin runs primal simplex iterations minimizing c over the current

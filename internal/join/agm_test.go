@@ -67,6 +67,32 @@ func TestAGMBoundDegenerate(t *testing.T) {
 	if got := AGMBound(schemes(t, "A B"), []int{3, 4}); got != 0 {
 		t.Errorf("mismatched slices: AGMBound = %g, want 0", got)
 	}
+	// The degenerate shapes the WCOJ planner feeds the bound: each must
+	// come back finite and exactly right — never NaN or Inf.
+	cases := []struct {
+		name  string
+		specs []string
+		sizes []int
+		want  float64
+	}{
+		{"single relation", []string{"A B C"}, []int{7}, 7},
+		{"disjoint schemes (cross product)", []string{"A B", "C D"}, []int{3, 5}, 15},
+		{"duplicate schemes", []string{"A B", "A B", "A B"}, []int{6, 3, 9}, 3},
+		{"empty relation", []string{"A B", "B C"}, []int{4, 0}, 0},
+		{"all relations empty", []string{"A B", "B C"}, []int{0, 0}, 0},
+		{"empty scheme among inputs", []string{"A B", ""}, []int{4, 1}, 4},
+		{"all schemes empty", []string{"", ""}, []int{1, 1}, 1},
+	}
+	for _, tc := range cases {
+		got := AGMBound(schemes(t, tc.specs...), tc.sizes)
+		if math.IsNaN(got) || math.IsInf(got, 0) {
+			t.Errorf("%s: AGMBound = %g", tc.name, got)
+			continue
+		}
+		if math.Abs(got-tc.want) > 1e-6 {
+			t.Errorf("%s: AGMBound(%v, %v) = %g, want %g", tc.name, tc.specs, tc.sizes, got, tc.want)
+		}
+	}
 }
 
 // TestAGMBoundDominatesActualJoin property-checks the theorem itself: the

@@ -57,6 +57,129 @@ func EstimateJoinSize(lScheme relation.Scheme, l ColumnStats, rScheme relation.S
 	return est
 }
 
+// PredictedPeakGreedy simulates the greedy binary planner purely over
+// System R estimates — no joins are executed — and returns the largest
+// intermediate result a binary plan over these inputs is predicted to
+// materialize. The worst-case-optimal auto-selector compares it against
+// the n-ary AGM bound: a predicted peak above the bound means every
+// binary combination step is expected to build more tuples than the
+// n-ary output can justify, the regime of the paper's Lemma 1 gadgets.
+// Inputs with fewer than two relations predict no intermediates (0).
+func PredictedPeakGreedy(inputs []*relation.Relation) float64 {
+	est, _ := greedyPeaks(inputs)
+	return est
+}
+
+// WorstCasePeakGreedy simulates the same greedy pairing but scores each
+// intermediate accumulator by the AGM bound of the base relations merged
+// into it — the largest result a binary plan could be FORCED to
+// materialize at that step, independent of the data's correlations. The
+// estimate-based peak misses the Lemma 1 gadgets precisely because their
+// correlations break System R's independence assumption; the worst-case
+// peak does not. The final accumulator (the full input set) is excluded:
+// its bound is the n-ary AGM bound itself, which no plan can avoid.
+func WorstCasePeakGreedy(inputs []*relation.Relation) float64 {
+	_, worst := greedyPeaks(inputs)
+	return worst
+}
+
+// greedyPeaks runs the shared greedy-plan simulation and returns both the
+// System R estimated peak and the worst-case (AGM) peak over intermediate
+// accumulators.
+func greedyPeaks(inputs []*relation.Relation) (estPeak, worstPeak float64) {
+	if len(inputs) < 2 {
+		return 0, 0
+	}
+	type estRel struct {
+		scheme   relation.Scheme
+		rows     float64
+		distinct map[relation.Attribute]float64
+	}
+	estimate := func(l, r estRel) float64 {
+		est := l.rows * r.rows
+		for _, a := range l.scheme.Intersect(r.scheme).Attrs() {
+			if v := max(l.distinct[a], r.distinct[a]); v > 1 {
+				est /= v
+			}
+		}
+		return est
+	}
+	pending := make([]estRel, len(inputs))
+	base := make([][]int, len(inputs))
+	for i, r := range inputs {
+		s := Analyze(r)
+		d := make(map[relation.Attribute]float64, len(s.Distinct))
+		for a, v := range s.Distinct {
+			d[a] = float64(v)
+		}
+		pending[i] = estRel{scheme: r.Scheme(), rows: float64(s.Rows), distinct: d}
+		base[i] = []int{i}
+	}
+	// subsetBound is the AGM bound of the base relations an accumulator
+	// holds.
+	subsetBound := func(idx []int) float64 {
+		schemes := make([]relation.Scheme, len(idx))
+		sizes := make([]int, len(idx))
+		for k, i := range idx {
+			schemes[k] = inputs[i].Scheme()
+			sizes[k] = inputs[i].Len()
+		}
+		return AGMBound(schemes, sizes)
+	}
+	peak := 0.0
+	for len(pending) > 1 {
+		// Mirror pickPairEstimated: prefer shared-attribute pairs, then
+		// the smallest estimated join size.
+		bestI, bestJ := 0, 1
+		bestShared := false
+		bestCost := -1.0
+		for i := 0; i < len(pending); i++ {
+			for j := i + 1; j < len(pending); j++ {
+				shared := !pending[i].scheme.Disjoint(pending[j].scheme)
+				cost := estimate(pending[i], pending[j])
+				switch {
+				case shared && !bestShared,
+					shared == bestShared && (bestCost < 0 || cost < bestCost):
+					bestI, bestJ, bestShared, bestCost = i, j, shared, cost
+				}
+			}
+		}
+		l, r := pending[bestI], pending[bestJ]
+		est := estimate(l, r)
+		if est > peak {
+			peak = est
+		}
+		merged := estRel{
+			scheme:   l.scheme.Union(r.scheme),
+			rows:     est,
+			distinct: make(map[relation.Attribute]float64, l.scheme.Len()+r.scheme.Len()),
+		}
+		for _, a := range merged.scheme.Attrs() {
+			v := 0.0
+			switch {
+			case l.scheme.Has(a) && r.scheme.Has(a):
+				v = min(l.distinct[a], r.distinct[a])
+			case l.scheme.Has(a):
+				v = l.distinct[a]
+			default:
+				v = r.distinct[a]
+			}
+			merged.distinct[a] = min(v, max(est, 1))
+		}
+		mergedBase := append(append([]int{}, base[bestI]...), base[bestJ]...)
+		if len(pending) > 2 { // intermediate, not the final full-set result
+			if wc := subsetBound(mergedBase); wc > worstPeak {
+				worstPeak = wc
+			}
+		}
+		pending = append(pending[:bestJ], pending[bestJ+1:]...)
+		base = append(base[:bestJ], base[bestJ+1:]...)
+		pending[bestI] = merged
+		base[bestI] = mergedBase
+	}
+	return peak, worstPeak
+}
+
 // PlanEstimated orders an n-ary join greedily by ESTIMATED intermediate
 // size (instead of Greedy's actual-size product): repeatedly join the pair
 // with the smallest estimate, preferring pairs that share attributes. It

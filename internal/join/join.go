@@ -36,8 +36,20 @@ type Metered interface {
 	WithMetrics(m *obs.Metrics) Algorithm
 }
 
+// MultiAlgorithm is implemented by algorithms that join all inputs of an
+// n-ary join node in one pass instead of as a tree of binary joins. The
+// algebra evaluator routes join nodes through JoinAll when the selected
+// algorithm provides it, bypassing the greedy binary planner — the seam
+// the worst-case-optimal Generic join plugs into.
+type MultiAlgorithm interface {
+	Algorithm
+	// JoinAll returns the natural join of all inputs. Zero inputs is an
+	// error; one input passes through unchanged, like Multi.
+	JoinAll(inputs []*relation.Relation) (*relation.Relation, error)
+}
+
 // ByName returns the algorithm with the given name ("hash", "sortmerge",
-// "nestedloop", "parallel").
+// "nestedloop", "parallel", "wcoj").
 func ByName(name string) (Algorithm, error) {
 	switch name {
 	case "hash":
@@ -48,13 +60,15 @@ func ByName(name string) (Algorithm, error) {
 		return NestedLoop{}, nil
 	case "parallel":
 		return Parallel{}, nil
+	case "wcoj":
+		return Generic{}, nil
 	default:
-		return nil, fmt.Errorf("join: unknown algorithm %q (want hash, sortmerge, nestedloop or parallel)", name)
+		return nil, fmt.Errorf("join: unknown algorithm %q (want hash, sortmerge, nestedloop, parallel or wcoj)", name)
 	}
 }
 
 // Names lists the available algorithm names.
-func Names() []string { return []string{"hash", "sortmerge", "nestedloop", "parallel"} }
+func Names() []string { return []string{"hash", "sortmerge", "nestedloop", "parallel", "wcoj"} }
 
 // combiner precomputes how to stitch a matching (left, right) tuple pair
 // into a tuple over the join's output scheme: all of left's columns, then

@@ -147,6 +147,9 @@ func (p Parallel) broadcast(table map[string][]relation.Tuple, probe *relation.R
 	for wi := 0; wi < w; wi++ {
 		lo := min(wi*chunk, total)
 		hi := min(lo+chunk, total)
+		if lo >= hi {
+			continue // total < w: trailing workers have no rows
+		}
 		wg.Add(1)
 		go func(wi, lo, hi int) {
 			defer wg.Done()
@@ -220,6 +223,9 @@ func partition(rel *relation.Relation, ke keyExtractor, n int) [][]keyedTuple {
 	for wi := 0; wi < n; wi++ {
 		lo := min(wi*chunk, total)
 		hi := min(lo+chunk, total)
+		if lo >= hi {
+			continue // total < n: trailing workers have no rows
+		}
 		wg.Add(1)
 		go func(wi, lo, hi int) {
 			defer wg.Done()
@@ -239,10 +245,16 @@ func partition(rel *relation.Relation, ke keyExtractor, n int) [][]keyedTuple {
 	for b := 0; b < n; b++ {
 		size := 0
 		for wi := 0; wi < n; wi++ {
+			if sub[wi] == nil {
+				continue // worker wi had an empty chunk
+			}
 			size += len(sub[wi][b])
 		}
 		bucket := make([]keyedTuple, 0, size)
 		for wi := 0; wi < n; wi++ {
+			if sub[wi] == nil {
+				continue
+			}
 			bucket = append(bucket, sub[wi][b]...)
 		}
 		buckets[b] = bucket
@@ -254,13 +266,6 @@ func bucketOf(key string, n int) int {
 	h := fnv.New32a()
 	h.Write([]byte(key))
 	return int(h.Sum32() % uint32(n))
-}
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
 }
 
 var _ Algorithm = Parallel{}

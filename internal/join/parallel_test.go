@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"relquery/internal/obs"
 	"relquery/internal/relation"
 )
 
@@ -169,4 +170,67 @@ func TestParallelMulti(t *testing.T) {
 	if joins, _, _ := stats.Snapshot(); joins != 2 {
 		t.Fatalf("joins = %d, want 2", joins)
 	}
+}
+
+// TestParallelFewerProbeRowsThanWorkers covers the broadcast chunking
+// boundary: a tiny probe side against more workers than rows. Below
+// MinParallelRows the join must take the sequential fallback (no
+// spurious Partitioned/Broadcast counts); above it, the broadcast path
+// must skip the workers whose chunk is empty and still reproduce the
+// sequential result exactly.
+func TestParallelFewerProbeRowsThanWorkers(t *testing.T) {
+	probe := rel(t, "K A", "k0 a0", "k1 a1", "k2 a2") // 3 rows, 8 workers
+
+	t.Run("sequential fallback", func(t *testing.T) {
+		build := rel(t, "K B", "k0 b0", "k1 b1", "k2 b2", "k3 b3")
+		want, err := Hash{}.Join(build, probe)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var m obs.Metrics
+		got, err := Parallel{Workers: 8, Metrics: &m}.Join(build, probe)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.Equal(want) {
+			t.Fatalf("fallback join differs: %d vs %d tuples", got.Len(), want.Len())
+		}
+		snap := m.Snapshot()
+		if snap.PartitionedJoins != 0 || snap.BroadcastJoins != 0 {
+			t.Errorf("tiny join counted partitioned=%d broadcast=%d", snap.PartitionedJoins, snap.BroadcastJoins)
+		}
+		if snap.SequentialFallbacks != 1 {
+			t.Errorf("sequential fallbacks = %d, want 1", snap.SequentialFallbacks)
+		}
+	})
+
+	t.Run("broadcast with empty chunks", func(t *testing.T) {
+		// The parallel join builds on the smaller side, so the 3-row
+		// relation becomes the build table (broadcast: 3 keys is far
+		// below PartitionKeyFactor×workers) and the 400-row side is
+		// probed. With more workers than probe rows the chunk math
+		// assigns trailing workers empty ranges, which must be skipped,
+		// not merged as empty slots.
+		build := bigRel(13, relation.MustScheme("K", "B"), 400, 3)
+		want, err := Hash{}.Join(build, probe)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var m obs.Metrics
+		got, err := Parallel{Workers: 512, Metrics: &m}.Join(build, probe)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.Equal(want) {
+			t.Fatalf("broadcast join differs: %d vs %d tuples", got.Len(), want.Len())
+		}
+		if gr, wr := relation.RenderSorted(got), relation.RenderSorted(want); gr != wr {
+			t.Fatal("sorted rendering differs")
+		}
+		snap := m.Snapshot()
+		if snap.BroadcastJoins != 1 || snap.PartitionedJoins != 0 || snap.SequentialFallbacks != 0 {
+			t.Errorf("strategy counts: broadcast=%d partitioned=%d fallback=%d, want 1/0/0",
+				snap.BroadcastJoins, snap.PartitionedJoins, snap.SequentialFallbacks)
+		}
+	})
 }

@@ -53,6 +53,10 @@ type Metrics struct {
 	broadcastJoins      atomic.Int64
 	sequentialFallbacks atomic.Int64
 
+	wcojJoins         atomic.Int64
+	wcojCandidates    atomic.Int64
+	wcojIntersections atomic.Int64
+
 	cacheHits          atomic.Int64
 	cacheMisses        atomic.Int64
 	cacheInvalidations atomic.Int64
@@ -130,6 +134,18 @@ func (m *Metrics) SequentialFallback() {
 	m.sequentialFallbacks.Add(1)
 }
 
+// WCOJ records one worst-case-optimal generic join with its search
+// counters: candidate values enumerated and attribute intersections
+// performed.
+func (m *Metrics) WCOJ(candidates, intersections int) {
+	if m == nil {
+		return
+	}
+	m.wcojJoins.Add(1)
+	m.wcojCandidates.Add(int64(candidates))
+	m.wcojIntersections.Add(int64(intersections))
+}
+
 // CacheHit records a subexpression served from a cache (the per-call memo
 // or the shared fingerprint-keyed cache) without re-evaluation.
 func (m *Metrics) CacheHit() {
@@ -176,6 +192,9 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 		Partitions:          m.partitions.Load(),
 		BroadcastJoins:      m.broadcastJoins.Load(),
 		SequentialFallbacks: m.sequentialFallbacks.Load(),
+		WCOJJoins:           m.wcojJoins.Load(),
+		WCOJCandidates:      m.wcojCandidates.Load(),
+		WCOJIntersections:   m.wcojIntersections.Load(),
 		CacheHits:           m.cacheHits.Load(),
 		CacheMisses:         m.cacheMisses.Load(),
 		CacheInvalidations:  m.cacheInvalidations.Load(),
@@ -209,6 +228,15 @@ type MetricsSnapshot struct {
 	// SequentialFallbacks counts parallel joins that delegated to the
 	// sequential hash join.
 	SequentialFallbacks int64 `json:"sequential_fallbacks"`
+	// WCOJJoins counts n-ary joins run by the worst-case-optimal generic
+	// join.
+	WCOJJoins int64 `json:"wcoj_joins"`
+	// WCOJCandidates totals the candidate attribute values the generic
+	// join enumerated.
+	WCOJCandidates int64 `json:"wcoj_candidates"`
+	// WCOJIntersections totals the attribute-level intersection passes
+	// the generic join performed.
+	WCOJIntersections int64 `json:"wcoj_intersections"`
 	// CacheHits counts subexpressions served from a cache.
 	CacheHits int64 `json:"cache_hits"`
 	// CacheMisses counts subexpressions that were evaluated.
@@ -223,9 +251,11 @@ func (s MetricsSnapshot) String() string {
 		"joins=%d max_intermediate=%d intermediate_tuples=%d "+
 			"built=%d probed=%d emitted=%d "+
 			"partitioned=%d partitions=%d broadcast=%d seq_fallback=%d "+
+			"wcoj=%d wcoj_candidates=%d wcoj_intersections=%d "+
 			"cache_hits=%d cache_misses=%d cache_invalidations=%d",
 		s.Joins, s.MaxIntermediate, s.IntermediateTuples,
 		s.TuplesBuilt, s.TuplesProbed, s.TuplesEmitted,
 		s.PartitionedJoins, s.Partitions, s.BroadcastJoins, s.SequentialFallbacks,
+		s.WCOJJoins, s.WCOJCandidates, s.WCOJIntersections,
 		s.CacheHits, s.CacheMisses, s.CacheInvalidations)
 }

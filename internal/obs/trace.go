@@ -66,6 +66,12 @@ type Span struct {
 	// evaluating this n-ary join span. This is where the paper's blow-up
 	// shows: on the gadget queries it dwarfs the span's OutputRows.
 	MaxIntermediate int `json:"max_intermediate,omitempty"`
+	// Candidates counts the candidate attribute values enumerated by a
+	// worst-case-optimal generic join (algorithm=wcoj spans only).
+	Candidates int `json:"candidates,omitempty"`
+	// Intersections counts the attribute-level intersection passes of a
+	// worst-case-optimal generic join (algorithm=wcoj spans only).
+	Intersections int `json:"intersections,omitempty"`
 	// Err records the node's evaluation error, if any (budget aborts show
 	// up here).
 	Err string `json:"error,omitempty"`
@@ -149,6 +155,16 @@ func (s *Span) ObservePeak(rows int) {
 	if rows > s.MaxIntermediate {
 		s.MaxIntermediate = rows
 	}
+}
+
+// SetWCOJ records a worst-case-optimal generic join's search counters:
+// candidate values enumerated and attribute intersections performed.
+func (s *Span) SetWCOJ(candidates, intersections int) {
+	if s == nil {
+		return
+	}
+	s.Candidates = candidates
+	s.Intersections = intersections
 }
 
 // SetAGMBound records the AGM worst-case output bound for a join span.
