@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench wcoj-bench trace fmt ci
+.PHONY: build test race bench wcoj-bench trace fmt lint ci
 
 build:
 	$(GO) build ./...
@@ -47,7 +47,19 @@ fmt:
 		echo "$$out" >&2; \
 		exit 1; \
 	fi
+
+# The full static-analysis gate: go vet, staticcheck (when installed —
+# CI always installs it; locally the step is skipped with a notice so
+# the target works offline), and relquery's own analyzer suite
+# (cmd/relquerylint), which must exit clean on the whole module.
+lint:
 	$(GO) vet ./...
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (CI runs it)"; \
+	fi
+	$(GO) run ./cmd/relquerylint ./...
 
 # Everything the CI workflow gates on, runnable locally before a push.
-ci: build fmt test race bench
+ci: build fmt lint test race bench

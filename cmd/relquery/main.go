@@ -172,14 +172,12 @@ func run(args []string) error {
 		// requested: a nil collector keeps the engine on its
 		// zero-overhead fast path.
 		var collector *obs.Collector
-		if *analyze || *tracePath != "" || *metrics {
+		if *analyze || *tracePath != "" || *metrics || *stats {
 			collector = &obs.Collector{}
 		}
-		var js join.Stats
 		ev := algebra.Evaluator{
 			Algorithm:       alg,
 			Order:           order,
-			Stats:           &js,
 			MaxIntermediate: *budget,
 			Parallelism:     opts.Parallelism,
 			Cache:           opts.Cache,
@@ -211,8 +209,10 @@ func run(args []string) error {
 			return err
 		}
 		if *stats {
-			fmt.Fprintf(os.Stderr, "engine=materialize join=%s order=%s parallel=%d cache=%v %s\n",
-				ev.AlgorithmName(), order, opts.Parallelism, opts.Cache, js.String())
+			snap := collector.Metrics.Snapshot()
+			fmt.Fprintf(os.Stderr, "engine=materialize join=%s order=%s parallel=%d cache=%v joins=%d max_intermediate=%d intermediate_tuples=%d\n",
+				ev.AlgorithmName(), order, opts.Parallelism, opts.Cache,
+				snap.Joins, snap.MaxIntermediate, snap.IntermediateTuples)
 		}
 		if *analyze {
 			fmt.Print(algebra.RenderTrace(collector.Trace()))

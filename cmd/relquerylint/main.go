@@ -1,0 +1,73 @@
+// Command relquerylint runs relquery's custom static-analysis suite
+// over the module.
+//
+// Usage:
+//
+//	relquerylint [-list] [packages]
+//
+// Packages default to ./... relative to the current directory. Exit
+// status: 0 when the tree is clean, 1 when any analyzer reported a
+// diagnostic, 2 on a loading or internal error — the same convention as
+// go vet, so CI can gate on it directly.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"relquery/internal/analysis"
+	"relquery/internal/analysis/framework"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	flags := flag.NewFlagSet("relquerylint", flag.ContinueOnError)
+	list := flags.Bool("list", false, "list the analyzers in the suite and exit")
+	flags.Usage = func() {
+		fmt.Fprintln(flags.Output(), "usage: relquerylint [-list] [packages]")
+		flags.PrintDefaults()
+	}
+	if err := flags.Parse(args); err != nil {
+		return 2
+	}
+
+	analyzers := analysis.All()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+
+	patterns := flags.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	dir, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "relquerylint:", err)
+		return 2
+	}
+	prog, err := framework.LoadPackages(dir, patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "relquerylint:", err)
+		return 2
+	}
+	diags, err := prog.Run(analyzers...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "relquerylint:", err)
+		return 2
+	}
+	for _, d := range diags {
+		fmt.Println(d.String())
+	}
+	if len(diags) > 0 {
+		return 1
+	}
+	return 0
+}

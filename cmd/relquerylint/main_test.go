@@ -1,0 +1,62 @@
+package main
+
+import (
+	"os"
+	"testing"
+
+	"relquery/internal/analysis/framework"
+)
+
+// chdirModuleRoot moves the test into the module root (restored on
+// cleanup) so ./... means the whole module, as it does for users.
+func chdirModuleRoot(t *testing.T) {
+	t.Helper()
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	root, err := framework.ModuleRoot(wd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chdir(root); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if err := os.Chdir(wd); err != nil {
+			t.Error(err)
+		}
+	})
+}
+
+// TestSuiteCleanOnModule is the self-run gate: the whole module must
+// lint clean. A regression that reintroduces a banned pattern fails here
+// (and in `make lint` / CI) with the offending position on stdout.
+func TestSuiteCleanOnModule(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole module")
+	}
+	chdirModuleRoot(t)
+	if code := run([]string{"./..."}); code != 0 {
+		t.Fatalf("relquerylint ./... = exit %d, want 0 (findings above)", code)
+	}
+}
+
+func TestListFlag(t *testing.T) {
+	if code := run([]string{"-list"}); code != 0 {
+		t.Fatalf("relquerylint -list = exit %d, want 0", code)
+	}
+}
+
+func TestBadFlag(t *testing.T) {
+	if code := run([]string{"-no-such-flag"}); code != 2 {
+		t.Fatalf("bad flag = exit %d, want 2", code)
+	}
+}
+
+func TestBadPattern(t *testing.T) {
+	chdirModuleRoot(t)
+	if code := run([]string{"./no/such/dir/..."}); code != 2 {
+		t.Fatalf("bad pattern = exit %d, want 2", code)
+	}
+}

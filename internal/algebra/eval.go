@@ -44,14 +44,6 @@ type Evaluator struct {
 	Algorithm join.Algorithm
 	// Order sequences n-ary joins (join.Greedy or join.Sequential).
 	Order join.Order
-	// Stats, when non-nil, accumulates intermediate-result statistics
-	// across Eval calls. The paper's hardness results manifest as
-	// Stats.MaxIntermediate exploding while inputs and outputs stay small.
-	//
-	// Deprecated: attach a Collector instead; its Metrics carry the same
-	// counters (and more) with race-free mid-run snapshots. Stats remains
-	// functional so existing callers compile unchanged.
-	Stats *join.Stats
 	// MaxIntermediate, when positive, aborts evaluation with
 	// ErrBudgetExceeded as soon as any intermediate relation exceeds that
 	// many tuples. It is the guard rail for exponential blow-up.
@@ -83,8 +75,8 @@ type Evaluator struct {
 	// join algorithm the partitioned parallel hash join
 	// (join.Parallel{Workers: Parallelism}). Results are identical to
 	// sequential evaluation: relations are sets, every operator is
-	// order-deterministic, and Stats is concurrency-safe. <= 1 means
-	// sequential — the zero value preserves pre-parallel behavior.
+	// order-deterministic, and the Collector's metrics are atomic. <= 1
+	// means sequential — the zero value preserves pre-parallel behavior.
 	Parallelism int
 	// SharedCache, when non-nil, memoizes subexpression results across
 	// Eval calls, keyed by expression text plus the content fingerprints
@@ -98,8 +90,9 @@ type Evaluator struct {
 	// and metric calls reduce to nil checks, with no allocation or clock
 	// reads (see BenchmarkE9ParallelEval's traced/untraced pairs).
 	//
-	// Collector supersedes Stats: it observes everything Stats does and
-	// more, with race-free mid-run snapshots (Collector.Metrics.Snapshot).
+	// Collector supersedes the removed Stats field (and the deprecated
+	// join.Stats shim): it observes everything Stats did and more, with
+	// race-free mid-run snapshots (Collector.Metrics.Snapshot).
 	Collector *obs.Collector
 }
 
@@ -259,7 +252,6 @@ func (ev *Evaluator) evalNode(e Expr, db relation.Database, memo *memoTable, sp 
 		if err != nil {
 			return nil, err
 		}
-		ev.Stats.Observe(out)
 		ev.Collector.M().ObserveIntermediate(out.Len())
 		if err := ev.check(out); err != nil {
 			return nil, err
@@ -352,8 +344,7 @@ func (ev *Evaluator) multi(args []*relation.Relation, sp *obs.Span) (*relation.R
 		}
 		if len(args) == 1 {
 			// join.Multi passes a single input through without a binary
-			// join; fold it into the intermediate statistics like Stats
-			// does.
+			// join; fold it into the intermediate statistics anyway.
 			m.ObserveIntermediate(args[0].Len())
 		}
 	}
@@ -395,7 +386,7 @@ func (ev *Evaluator) multi(args []*relation.Relation, sp *obs.Span) (*relation.R
 	if ev.MaxIntermediate > 0 {
 		alg = budgetAlgorithm{inner: alg, max: ev.MaxIntermediate}
 	}
-	return join.Multi(args, alg, ev.Order, ev.Stats)
+	return join.Multi(args, alg, ev.Order, nil)
 }
 
 // multiGeneric evaluates an n-ary join node with the worst-case-optimal
@@ -415,7 +406,6 @@ func (ev *Evaluator) multiGeneric(g join.Generic, args []*relation.Relation, sp 
 		sp.ObservePeak(out.Len())
 		sp.SetWCOJ(gs.Candidates, gs.Intersections)
 	}
-	ev.Stats.Observe(out)
 	if err := ev.check(out); err != nil {
 		return nil, err
 	}

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"relquery/internal/join"
+	"relquery/internal/obs"
 	"relquery/internal/relation"
 )
 
@@ -119,8 +120,8 @@ func TestEvalStats(t *testing.T) {
 			MustProject(relation.MustScheme("A", "B"), op),
 			MustProject(relation.MustScheme("B", "C"), op),
 		))
-	var stats join.Stats
-	ev := Evaluator{Stats: &stats}
+	col := &obs.Collector{}
+	ev := Evaluator{Collector: col}
 	got, err := ev.Eval(e, db)
 	if err != nil {
 		t.Fatal(err)
@@ -128,12 +129,13 @@ func TestEvalStats(t *testing.T) {
 	if got.Len() != 2 {
 		t.Errorf("result = %v", got.Sorted())
 	}
-	if stats.Joins != 1 {
-		t.Errorf("Joins = %d", stats.Joins)
+	snap := col.Metrics.Snapshot()
+	if snap.Joins != 1 {
+		t.Errorf("Joins = %d", snap.Joins)
 	}
 	// Join result has 4 tuples (both A's match both C's via B=x).
-	if stats.MaxIntermediate != 4 {
-		t.Errorf("MaxIntermediate = %d, want 4", stats.MaxIntermediate)
+	if snap.MaxIntermediate != 4 {
+		t.Errorf("MaxIntermediate = %d, want 4", snap.MaxIntermediate)
 	}
 }
 
@@ -214,13 +216,13 @@ func TestEvalSemijoinPrefilter(t *testing.T) {
 		MustOperand("R", relation.MustScheme("B", "C")),
 		MustOperand("S", relation.MustScheme("C", "D")),
 	)
-	var plain, filtered join.Stats
-	evPlain := Evaluator{Order: join.Sequential, Stats: &plain}
+	plain, filtered := &obs.Collector{}, &obs.Collector{}
+	evPlain := Evaluator{Order: join.Sequential, Collector: plain}
 	got1, err := evPlain.Eval(e, db)
 	if err != nil {
 		t.Fatal(err)
 	}
-	evFiltered := Evaluator{Order: join.Sequential, Stats: &filtered, SemijoinPrefilter: true}
+	evFiltered := Evaluator{Order: join.Sequential, Collector: filtered, SemijoinPrefilter: true}
 	got2, err := evFiltered.Eval(e, db)
 	if err != nil {
 		t.Fatal(err)
@@ -231,11 +233,11 @@ func TestEvalSemijoinPrefilter(t *testing.T) {
 	if got1.Len() != 0 {
 		t.Fatalf("result = %d tuples, want 0", got1.Len())
 	}
-	if plain.MaxIntermediate < 400 {
-		t.Errorf("plain max intermediate = %d, expected the 20x20 blowup", plain.MaxIntermediate)
+	if maxI := plain.Metrics.Snapshot().MaxIntermediate; maxI < 400 {
+		t.Errorf("plain max intermediate = %d, expected the 20x20 blowup", maxI)
 	}
-	if filtered.MaxIntermediate != 0 {
-		t.Errorf("filtered max intermediate = %d, want 0", filtered.MaxIntermediate)
+	if maxI := filtered.Metrics.Snapshot().MaxIntermediate; maxI != 0 {
+		t.Errorf("filtered max intermediate = %d, want 0", maxI)
 	}
 }
 
@@ -252,13 +254,13 @@ func TestEvalCacheSharesSubexpressions(t *testing.T) {
 		MustProject(relation.MustScheme("A"), inner),
 		MustProject(relation.MustScheme("C"), inner),
 	)
-	var plain, cached join.Stats
-	evPlain := Evaluator{Stats: &plain}
+	plain, cached := &obs.Collector{}, &obs.Collector{}
+	evPlain := Evaluator{Collector: plain}
 	want, err := evPlain.Eval(e, db)
 	if err != nil {
 		t.Fatal(err)
 	}
-	evCached := Evaluator{Stats: &cached, Cache: true}
+	evCached := Evaluator{Collector: cached, Cache: true}
 	got, err := evCached.Eval(e, db)
 	if err != nil {
 		t.Fatal(err)
@@ -266,10 +268,10 @@ func TestEvalCacheSharesSubexpressions(t *testing.T) {
 	if !got.Equal(want) {
 		t.Fatal("cache changed the result")
 	}
-	if plain.Joins != 3 { // inner twice + outer
-		t.Errorf("plain Joins = %d, want 3", plain.Joins)
+	if joins := plain.Metrics.Snapshot().Joins; joins != 3 { // inner twice + outer
+		t.Errorf("plain Joins = %d, want 3", joins)
 	}
-	if cached.Joins != 2 { // inner once + outer
-		t.Errorf("cached Joins = %d, want 2", cached.Joins)
+	if joins := cached.Metrics.Snapshot().Joins; joins != 2 { // inner once + outer
+		t.Errorf("cached Joins = %d, want 2", joins)
 	}
 }

@@ -5,7 +5,7 @@ import (
 	"math/rand"
 	"testing"
 
-	"relquery/internal/join"
+	"relquery/internal/obs"
 	"relquery/internal/relation"
 )
 
@@ -89,26 +89,26 @@ func TestParallelEvalMatchesSequential(t *testing.T) {
 	}
 }
 
-// TestParallelEvalStats checks that a shared Stats survives concurrent
-// observation and counts the same number of joins as sequential
-// evaluation.
+// TestParallelEvalStats checks that a collector shared across the
+// parallel workers survives concurrent observation and counts the same
+// number of joins as sequential evaluation.
 func TestParallelEvalStats(t *testing.T) {
 	r := randomWideRel(t, 7, []string{"A", "B", "C"}, 400, 10)
 	db := relation.Single("T", r)
 	op := MustOperand("T", r.Scheme())
 	e := legsExpr(t, op, [][]string{{"A", "B"}, {"B", "C"}, {"A", "C"}})
 
-	var seqStats join.Stats
-	if _, err := (&Evaluator{Stats: &seqStats}).Eval(e, db); err != nil {
+	seqCol := &obs.Collector{}
+	if _, err := (&Evaluator{Collector: seqCol}).Eval(e, db); err != nil {
 		t.Fatal(err)
 	}
-	var parStats join.Stats
-	ev := Evaluator{Parallelism: 8, Stats: &parStats}
+	parCol := &obs.Collector{}
+	ev := Evaluator{Parallelism: 8, Collector: parCol}
 	if _, err := ev.Eval(e, db); err != nil {
 		t.Fatal(err)
 	}
-	seqJoins, _, _ := seqStats.Snapshot()
-	parJoins, _, _ := parStats.Snapshot()
+	seqJoins := seqCol.Metrics.Snapshot().Joins
+	parJoins := parCol.Metrics.Snapshot().Joins
 	if seqJoins != parJoins {
 		t.Fatalf("join count differs: sequential %d, parallel %d", seqJoins, parJoins)
 	}

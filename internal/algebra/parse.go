@@ -166,7 +166,7 @@ func (p *parser) parseProjection(kw token) (Expr, error) {
 	}
 	onto, err := relation.NewScheme(attrs...)
 	if err != nil {
-		return nil, fmt.Errorf("algebra: parse error at offset %d: %v", kw.pos, err)
+		return nil, fmt.Errorf("algebra: parse error at offset %d: %w", kw.pos, err)
 	}
 	if _, err := p.expect(tokLParen, "'(' after projection list"); err != nil {
 		return nil, err
@@ -180,7 +180,7 @@ func (p *parser) parseProjection(kw token) (Expr, error) {
 	}
 	proj, err := NewProject(onto, of)
 	if err != nil {
-		return nil, fmt.Errorf("algebra: parse error at offset %d: %v", kw.pos, err)
+		return nil, fmt.Errorf("algebra: parse error at offset %d: %w", kw.pos, err)
 	}
 	return proj, nil
 }

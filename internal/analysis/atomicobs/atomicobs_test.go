@@ -1,0 +1,12 @@
+package atomicobs_test
+
+import (
+	"testing"
+
+	"relquery/internal/analysis/atomicobs"
+	"relquery/internal/analysis/framework"
+)
+
+func TestAtomicObs(t *testing.T) {
+	framework.RunFixtures(t, "testdata", atomicobs.Analyzer, "a")
+}

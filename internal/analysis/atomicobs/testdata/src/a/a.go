@@ -1,0 +1,43 @@
+// Fixture for atomicobs: a metrics struct in the obs.Metrics mold.
+package a
+
+import "sync/atomic"
+
+type Metrics struct {
+	joins atomic.Int64
+	peak  atomic.Int64
+	name  string
+}
+
+func (m *Metrics) Observe() {
+	m.joins.Add(1)
+	for {
+		cur := m.peak.Load()
+		if cur >= 1 || m.peak.CompareAndSwap(cur, 1) {
+			return
+		}
+	}
+}
+
+func (m *Metrics) Joins() int64 {
+	return m.joins.Load()
+}
+
+func Copy(m *Metrics) int64 {
+	v := m.joins // want `non-atomic access to atomic counter field Metrics\.joins`
+	return v.Load()
+}
+
+func Assign(m *Metrics) {
+	m.peak = atomic.Int64{} // want `non-atomic access to atomic counter field Metrics\.peak`
+}
+
+func Rename(m *Metrics) string {
+	// Non-atomic fields stay untouched by the pass.
+	m.name = "joins"
+	return m.name
+}
+
+func Fork(m *Metrics) Metrics {
+	return Metrics{joins: m.joins} // want `non-atomic access to atomic counter field Metrics\.joins`
+}

@@ -1,0 +1,12 @@
+package deprecatedban_test
+
+import (
+	"testing"
+
+	"relquery/internal/analysis/deprecatedban"
+	"relquery/internal/analysis/framework"
+)
+
+func TestDeprecatedBan(t *testing.T) {
+	framework.RunFixtures(t, "testdata", deprecatedban.Analyzer, "dep", "a")
+}

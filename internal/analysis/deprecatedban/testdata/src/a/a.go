@@ -1,0 +1,22 @@
+// Fixture for deprecatedban: a consumer of package dep.
+package a
+
+import "dep"
+
+var x dep.OldThing // want `use of deprecated dep\.OldThing: use NewThing instead\.`
+
+func use() int {
+	t := dep.Old() // want `use of deprecated dep\.Old: use Make instead\.`
+	n := t.Count   // want `use of deprecated dep\.OldThing\.Count: use Size instead\.`
+	n += t.Size
+	m := dep.Make()
+	return n + m.Size
+}
+
+// legacyBridge feeds old callers; it references the deprecated shape in
+// its own deprecated body, which is exempt.
+//
+// Deprecated: use dep.Make directly.
+func legacyBridge() dep.OldThing {
+	return dep.OldThing{Count: 1}
+}

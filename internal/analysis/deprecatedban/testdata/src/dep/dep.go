@@ -1,0 +1,31 @@
+// Fixture dependency for deprecatedban: a package exporting deprecated
+// and current symbols side by side.
+package dep
+
+// OldThing is the legacy shape.
+//
+// Deprecated: use NewThing instead.
+type OldThing struct {
+	// Deprecated: use Size instead.
+	Count int
+	Size  int
+}
+
+// NewThing replaces OldThing.
+type NewThing struct{ Size int }
+
+// Old builds the legacy shape.
+//
+// Deprecated: use Make instead.
+func Old() OldThing { return OldThing{} }
+
+// Make builds the current shape.
+func Make() NewThing { return NewThing{} }
+
+// samePackage may keep using its own deprecated symbols: the shim's
+// implementation and tests live here.
+func samePackage() OldThing {
+	t := Old()
+	t.Count++
+	return t
+}

@@ -1,0 +1,12 @@
+package errwrapcheck_test
+
+import (
+	"testing"
+
+	"relquery/internal/analysis/errwrapcheck"
+	"relquery/internal/analysis/framework"
+)
+
+func TestErrWrapCheck(t *testing.T) {
+	framework.RunFixtures(t, "testdata", errwrapcheck.Analyzer, "a")
+}

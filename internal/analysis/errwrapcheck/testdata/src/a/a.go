@@ -1,0 +1,51 @@
+// Fixture for errwrapcheck: sentinel comparisons and fmt.Errorf wrapping.
+package a
+
+import (
+	"errors"
+	"fmt"
+)
+
+var ErrBudget = errors.New("budget exceeded")
+
+var notSentinel = errors.New("unnamed convention")
+
+func compare(err error) bool {
+	if err == ErrBudget { // want `ErrBudget compared with ==`
+		return true
+	}
+	if ErrBudget != err { // want `ErrBudget compared with !=`
+		return false
+	}
+	if err == notSentinel { // only Err*-named package vars are sentinels
+		return true
+	}
+	return errors.Is(err, ErrBudget)
+}
+
+func classify(err error) int {
+	switch err {
+	case ErrBudget: // want `switch case compares ErrBudget with ==`
+		return 1
+	case nil:
+		return 0
+	default:
+		return 2
+	}
+}
+
+func wrap(err error) error {
+	return fmt.Errorf("evaluating: %v", err) // want `fmt\.Errorf formats an error value without %w`
+}
+
+func wrapOK(err error) error {
+	return fmt.Errorf("evaluating: %w", err)
+}
+
+func wrapLiteralPercent(err error) error {
+	return fmt.Errorf("100%% done: %w", err)
+}
+
+func noErrorArgs(n int) error {
+	return fmt.Errorf("bad count %d", n)
+}

@@ -1,0 +1,349 @@
+// Package framework is a self-contained, standard-library-only analog of
+// golang.org/x/tools/go/analysis, sized for this module's lint suite
+// (cmd/relquerylint). It exists because the build environment is
+// network-isolated: x/tools cannot be vendored, but everything the suite
+// needs — parsed syntax, full type information, cross-package symbol
+// metadata — is reachable with go/parser, go/types and the go command.
+//
+// The model mirrors go/analysis deliberately: an Analyzer is a named Run
+// function over a Pass; a Pass carries one package's files, types and an
+// aggregated view of module-wide facts (currently the deprecated-symbol
+// registry); diagnostics are (position, message) pairs. Analyzer test
+// fixtures use the analysistest convention: files under testdata/src/<pkg>
+// annotated with `// want "regexp"` comments (see RunFixtures).
+//
+// Loading works without x/tools' go/packages: `go list -export -deps -test`
+// supplies compiled export data for every dependency (standard library
+// included), the packages under analysis are parsed and type-checked from
+// source, and imports resolve through importer.ForCompiler's gc importer
+// reading that export data. Test files are analyzed too: internal tests
+// are type-checked together with their package, external _test packages
+// separately.
+package framework
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer describes one invariant check. Run is invoked once per
+// loaded package and reports findings through the Pass.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and -list output. By
+	// convention it is a single lowercase word.
+	Name string
+	// Doc is a one-paragraph description: the invariant guarded and why
+	// violating it is a bug in this codebase.
+	Doc string
+	// Run analyzes one package.
+	Run func(*Pass) error
+}
+
+// A Pass provides one package's syntax and types to an Analyzer.Run and
+// collects its diagnostics.
+type Pass struct {
+	// Analyzer is the analyzer this pass runs.
+	Analyzer *Analyzer
+	// Fset maps positions for every file in the enclosing Program.
+	Fset *token.FileSet
+	// Path is the package's import path ("_test"-suffixed for external
+	// test packages).
+	Path string
+	// Files is the package's parsed syntax, comments included.
+	Files []*ast.File
+	// Pkg is the type-checked package.
+	Pkg *types.Package
+	// Info holds the type-checker's results for Files.
+	Info *types.Info
+	// Deprecated indexes every `// Deprecated:` symbol of the enclosing
+	// program (module source plus fixtures), keyed by SymbolKey.
+	Deprecated *Deprecations
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// A Diagnostic is one finding: a resolved position, the analyzer that
+// produced it, and the message.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s (%s)", d.Pos, d.Message, d.Analyzer)
+}
+
+// sortDiagnostics orders findings by file, line, column, analyzer.
+func sortDiagnostics(diags []Diagnostic) {
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+}
+
+// WalkStack walks the AST in depth-first order like ast.Inspect, but
+// additionally passes the stack of ancestor nodes (outermost first, not
+// including n itself). Returning false prunes the subtree.
+func WalkStack(root ast.Node, fn func(n ast.Node, stack []ast.Node) bool) {
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		ok := fn(n, stack)
+		// ast.Inspect sends the matching nil pop only when it descended,
+		// so push exactly when descending.
+		if ok {
+			stack = append(stack, n)
+		}
+		return ok
+	})
+}
+
+// Deprecations indexes the program's deprecated symbols. Keys are built
+// by SymbolKey; values are the first line of the deprecation notice.
+type Deprecations struct {
+	byKey map[string]string
+}
+
+// Lookup returns the deprecation notice for key, if any.
+func (d *Deprecations) Lookup(key string) (string, bool) {
+	if d == nil {
+		return "", false
+	}
+	msg, ok := d.byKey[key]
+	return msg, ok
+}
+
+// add records one deprecated symbol.
+func (d *Deprecations) add(key, msg string) {
+	if d.byKey == nil {
+		d.byKey = make(map[string]string)
+	}
+	if _, dup := d.byKey[key]; !dup {
+		d.byKey[key] = msg
+	}
+}
+
+// SymbolKey names a top-level symbol, method or struct field in a form
+// stable across separate type-checks: "pkgpath.Name",
+// "pkgpath.Type.Method" or "pkgpath.Type.Field". It returns "" for
+// objects that cannot be keyed (builtins, locals, interface embeds).
+func SymbolKey(obj types.Object) string {
+	if obj == nil || obj.Pkg() == nil {
+		return ""
+	}
+	pkg := obj.Pkg().Path()
+	switch o := obj.(type) {
+	case *types.Func:
+		if recv := o.Type().(*types.Signature).Recv(); recv != nil {
+			if named := namedOf(recv.Type()); named != nil {
+				return pkg + "." + named.Obj().Name() + "." + o.Name()
+			}
+			return ""
+		}
+		return pkg + "." + o.Name()
+	case *types.Var:
+		if o.IsField() {
+			// Field keys need the owning type, which the object alone
+			// does not carry; callers key fields via FieldKey instead.
+			return ""
+		}
+		return pkg + "." + o.Name()
+	case *types.TypeName, *types.Const:
+		return pkg + "." + obj.Name()
+	}
+	return ""
+}
+
+// FieldKey names a struct field given its owning named type.
+func FieldKey(owner *types.Named, field string) string {
+	if owner == nil || owner.Obj().Pkg() == nil {
+		return ""
+	}
+	return owner.Obj().Pkg().Path() + "." + owner.Obj().Name() + "." + field
+}
+
+// namedOf unwraps pointers and aliases down to a named type, or nil.
+func namedOf(t types.Type) *types.Named {
+	for {
+		switch u := t.(type) {
+		case *types.Pointer:
+			t = u.Elem()
+		case *types.Named:
+			return u
+		case *types.Alias:
+			t = types.Unalias(u)
+		default:
+			return nil
+		}
+	}
+}
+
+// NamedOf is namedOf for analyzer use: the named type behind pointers
+// and aliases, or nil.
+func NamedOf(t types.Type) *types.Named { return namedOf(t) }
+
+// IsNamed reports whether t (behind pointers/aliases) is the named type
+// pkgName.typeName, matching the *package name* rather than path so that
+// test fixtures mimicking a package (e.g. a fixture package "relation")
+// exercise the same analyzer logic as the real one.
+func IsNamed(t types.Type, pkgName, typeName string) bool {
+	n := namedOf(t)
+	if n == nil || n.Obj().Pkg() == nil {
+		return false
+	}
+	return n.Obj().Pkg().Name() == pkgName && n.Obj().Name() == typeName
+}
+
+// deprecationOf extracts the first "Deprecated:" line from a comment
+// group, or "".
+func deprecationOf(groups ...*ast.CommentGroup) string {
+	for _, g := range groups {
+		if g == nil {
+			continue
+		}
+		for _, line := range strings.Split(g.Text(), "\n") {
+			line = strings.TrimSpace(line)
+			if strings.HasPrefix(line, "Deprecated:") {
+				return line
+			}
+		}
+	}
+	return ""
+}
+
+// DeclDeprecated reports whether the top-level declaration enclosing pos
+// in file carries a Deprecated: notice. Uses inside deprecated
+// declarations are exempt from deprecation findings: a deprecated shim
+// may reference other deprecated symbols.
+func DeclDeprecated(file *ast.File, pos token.Pos) bool {
+	for _, decl := range file.Decls {
+		if decl.Pos() <= pos && pos <= decl.End() {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				return deprecationOf(d.Doc) != ""
+			case *ast.GenDecl:
+				if deprecationOf(d.Doc) != "" {
+					return true
+				}
+				for _, spec := range d.Specs {
+					if spec.Pos() <= pos && pos <= spec.End() {
+						switch s := spec.(type) {
+						case *ast.TypeSpec:
+							return deprecationOf(s.Doc, s.Comment) != ""
+						case *ast.ValueSpec:
+							return deprecationOf(s.Doc, s.Comment) != ""
+						}
+					}
+				}
+			}
+			return false
+		}
+	}
+	return false
+}
+
+// collectDeprecations scans one package's syntax for Deprecated: notices
+// on top-level declarations, methods and struct fields, adding them to d
+// under the given package path.
+func collectDeprecations(d *Deprecations, pkgPath string, files []*ast.File) {
+	for _, file := range files {
+		for _, decl := range file.Decls {
+			switch dd := decl.(type) {
+			case *ast.FuncDecl:
+				msg := deprecationOf(dd.Doc)
+				if msg == "" {
+					continue
+				}
+				if dd.Recv != nil && len(dd.Recv.List) == 1 {
+					if recv := recvTypeName(dd.Recv.List[0].Type); recv != "" {
+						d.add(pkgPath+"."+recv+"."+dd.Name.Name, msg)
+					}
+					continue
+				}
+				d.add(pkgPath+"."+dd.Name.Name, msg)
+			case *ast.GenDecl:
+				declMsg := deprecationOf(dd.Doc)
+				for _, spec := range dd.Specs {
+					switch s := spec.(type) {
+					case *ast.TypeSpec:
+						msg := deprecationOf(s.Doc, s.Comment)
+						if msg == "" {
+							msg = declMsg
+						}
+						if msg != "" {
+							d.add(pkgPath+"."+s.Name.Name, msg)
+						}
+						if st, ok := s.Type.(*ast.StructType); ok {
+							collectFieldDeprecations(d, pkgPath, s.Name.Name, st)
+						}
+					case *ast.ValueSpec:
+						msg := deprecationOf(s.Doc, s.Comment)
+						if msg == "" {
+							msg = declMsg
+						}
+						if msg == "" {
+							continue
+						}
+						for _, name := range s.Names {
+							d.add(pkgPath+"."+name.Name, msg)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func collectFieldDeprecations(d *Deprecations, pkgPath, typeName string, st *ast.StructType) {
+	for _, f := range st.Fields.List {
+		msg := deprecationOf(f.Doc, f.Comment)
+		if msg == "" {
+			continue
+		}
+		for _, name := range f.Names {
+			d.add(pkgPath+"."+typeName+"."+name.Name, msg)
+		}
+	}
+}
+
+// recvTypeName extracts the receiver base type name from a receiver type
+// expression (T, *T, T[P], *T[P]).
+func recvTypeName(e ast.Expr) string {
+	switch t := e.(type) {
+	case *ast.Ident:
+		return t.Name
+	case *ast.StarExpr:
+		return recvTypeName(t.X)
+	case *ast.IndexExpr:
+		return recvTypeName(t.X)
+	case *ast.IndexListExpr:
+		return recvTypeName(t.X)
+	}
+	return ""
+}

@@ -1,0 +1,6 @@
+// Fixture for the framework's own harness test.
+package x
+
+func Good() {}
+
+func Bad() {} // want "function named Bad"

@@ -1,0 +1,12 @@
+package schemecanon_test
+
+import (
+	"testing"
+
+	"relquery/internal/analysis/framework"
+	"relquery/internal/analysis/schemecanon"
+)
+
+func TestSchemeCanon(t *testing.T) {
+	framework.RunFixtures(t, "testdata", schemecanon.Analyzer, "relation")
+}

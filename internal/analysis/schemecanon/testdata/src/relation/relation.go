@@ -1,0 +1,36 @@
+// Fixture for schemecanon: mirrors the shape of relquery's
+// internal/relation.Scheme (the analyzer matches by package and type
+// name, so the fixture package is named relation).
+package relation
+
+type Attribute string
+
+type Scheme struct {
+	attrs []Attribute
+	pos   map[Attribute]int
+}
+
+func NewScheme(attrs ...Attribute) Scheme {
+	s := Scheme{attrs: attrs, pos: make(map[Attribute]int, len(attrs))}
+	for i, a := range attrs {
+		s.pos[a] = i
+	}
+	return s
+}
+
+func Ad(a, b Attribute) Scheme {
+	s := Scheme{attrs: []Attribute{a, b}} // want `Scheme built ad hoc`
+	s.pos = map[Attribute]int{a: 0, b: 1} // want `write to Scheme\.pos outside NewScheme`
+	s.pos[b] = 1                          // want `write to Scheme\.pos outside NewScheme`
+	s.attrs[0] = b                        // want `write to Scheme\.attrs outside NewScheme`
+	return s
+}
+
+func Empty() Scheme {
+	// The zero literal is the documented empty scheme.
+	return Scheme{}
+}
+
+func Canonical(a, b Attribute) Scheme {
+	return NewScheme(a, b)
+}

@@ -1,0 +1,12 @@
+package tuplealias_test
+
+import (
+	"testing"
+
+	"relquery/internal/analysis/framework"
+	"relquery/internal/analysis/tuplealias"
+)
+
+func TestTupleAlias(t *testing.T) {
+	framework.RunFixtures(t, "testdata", tuplealias.Analyzer, "a")
+}

@@ -69,3 +69,109 @@ func FuzzParseDIMACS(f *testing.F) {
 		}
 	})
 }
+
+// FuzzTo3CNF checks the 3CNF conversion on arbitrary parsed formulas: the
+// output is always exactly-3-literal clauses over distinct variables, the
+// conversion never errors on a valid formula, and — for formulas small
+// enough to brute-force — satisfiability is preserved exactly (the
+// equisatisfiability Lemma 1's reduction depends on).
+func FuzzTo3CNF(f *testing.F) {
+	seeds := []string{
+		"(x1 + x2 + x3)",
+		"(x1)",
+		"(x1 + x2)",
+		"(x1 + x2 + x3 + x4 + x5)",
+		"(x1 + ~x1)",
+		"(x1 + x1 + x2)",
+		"(x1)(~x1)",
+		"(x1 + x2 + x3)(~x2 + x3 + ~x4)(~x3 + ~x4 + ~x5)",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		g, err := Parse(src)
+		if err != nil {
+			return
+		}
+		g3, err := To3CNF(g)
+		if err != nil {
+			t.Fatalf("To3CNF failed on valid formula %q: %v", g, err)
+		}
+		if !g3.Is3CNF() {
+			t.Fatalf("To3CNF(%q) = %q is not 3CNF", g, g3)
+		}
+		for i, c := range g3.Clauses {
+			if len(c) != 3 || !c.DistinctVars() {
+				t.Fatalf("converted clause %d = %v has repeats or wrong width", i+1, c)
+			}
+		}
+		// Fresh variables are appended, never renumbered.
+		if g3.NumVars < g.NumVars {
+			t.Fatalf("conversion dropped variables: %d -> %d", g.NumVars, g3.NumVars)
+		}
+		if g3.NumVars <= 16 && g.NumVars <= 16 && len(g.Clauses) <= 32 {
+			if bruteSat(g) != bruteSat(g3) {
+				t.Fatalf("satisfiability changed: %q sat=%v but %q sat=%v",
+					g, bruteSat(g), g3, bruteSat(g3))
+			}
+		}
+	})
+}
+
+// FuzzCompact checks variable renumbering on arbitrary parsed formulas:
+// the output uses every variable, keeps every clause with signs intact
+// under the returned mapping, is a fixpoint of Compact, and preserves
+// satisfiability (a removed variable is a free factor, never a
+// constraint).
+func FuzzCompact(f *testing.F) {
+	seeds := []string{
+		"(x1 + x2 + x3)",
+		"(x2 + x4)",
+		"(x5)",
+		"(x1 + x3 + x5)(~x3 + x5 + ~x7)",
+		"(x1 + ~x1)",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		g, err := Parse(src)
+		if err != nil {
+			return
+		}
+		out, remap := Compact(g)
+		if !out.AllVarsUsed() {
+			t.Fatalf("Compact(%q) = %q still has unused variables", g, out)
+		}
+		if out.NumClauses() != g.NumClauses() {
+			t.Fatalf("Compact changed clause count: %d -> %d", g.NumClauses(), out.NumClauses())
+		}
+		for i, c := range g.Clauses {
+			nc := out.Clauses[i]
+			if len(nc) != len(c) {
+				t.Fatalf("clause %d changed width", i+1)
+			}
+			for k, l := range c {
+				nl := nc[k]
+				if remap[l.Var()] != nl.Var() || l.Pos() != nl.Pos() {
+					t.Fatalf("clause %d literal %d: %v mapped to %v under %v", i+1, k+1, l, nl, remap)
+				}
+			}
+		}
+		again, remap2 := Compact(out)
+		if again.String() != out.String() || again.NumVars != out.NumVars {
+			t.Fatalf("Compact is not idempotent: %q -> %q", out, again)
+		}
+		for v, w := range remap2 {
+			if v != w {
+				t.Fatalf("second Compact renumbered %d -> %d", v, w)
+			}
+		}
+		if g.NumVars <= 16 && len(g.Clauses) <= 32 {
+			if bruteSat(g) != bruteSat(out) {
+				t.Fatalf("satisfiability changed: %q vs %q", g, out)
+			}
+		}
+	})
+}

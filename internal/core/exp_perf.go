@@ -120,9 +120,9 @@ func runE8(cfg *Config) error {
 	for _, n := range sizes {
 		rels := hubWorkload(n)
 
-		var stats join.Stats
+		var m obs.Metrics
 		start := time.Now()
-		naive, err := join.Multi(rels, join.Hash{}, join.Sequential, &stats)
+		naive, err := join.Multi(rels, join.Hash{Metrics: &m}, join.Sequential, nil)
 		if err != nil {
 			return err
 		}
@@ -146,7 +146,7 @@ func runE8(cfg *Config) error {
 			input += rels[i].Len()
 			reducedTotal += r.Len()
 		}
-		t.row(n, input, naive.Len(), stats.MaxIntermediate, reducedTotal,
+		t.row(n, input, naive.Len(), int(m.Snapshot().MaxIntermediate), reducedTotal,
 			naiveDur.Microseconds(), smartDur.Microseconds())
 	}
 	if err := t.flush(); err != nil {

@@ -64,8 +64,8 @@ func TestPlanEstimatedMatchesGreedy(t *testing.T) {
 	if !got.Equal(want) {
 		t.Errorf("PlanEstimated result differs from greedy")
 	}
-	if stats.Joins != 2 {
-		t.Errorf("Joins = %d", stats.Joins)
+	if joins, _, _ := stats.Snapshot(); joins != 2 {
+		t.Errorf("Joins = %d", joins)
 	}
 	if _, err := PlanEstimated(nil, Hash{}, nil); err == nil {
 		t.Error("empty input accepted")
@@ -136,10 +136,12 @@ func TestPlanEstimatedAvoidsSkewTrap(t *testing.T) {
 	}
 	// The estimated plan joins R2*R3 first (selective), never building the
 	// N*N hub blowup that a wrong order pays.
-	if est.MaxIntermediate > greedy.MaxIntermediate {
-		t.Errorf("estimated plan worse than greedy: %d > %d", est.MaxIntermediate, greedy.MaxIntermediate)
+	_, estMax, _ := est.Snapshot()
+	_, greedyMax, _ := greedy.Snapshot()
+	if estMax > greedyMax {
+		t.Errorf("estimated plan worse than greedy: %d > %d", estMax, greedyMax)
 	}
-	if est.MaxIntermediate >= n*n {
-		t.Errorf("estimated plan built the hub blowup: %d", est.MaxIntermediate)
+	if estMax >= n*n {
+		t.Errorf("estimated plan built the hub blowup: %d", estMax)
 	}
 }

@@ -193,11 +193,13 @@ func TestMultiStats(t *testing.T) {
 	if _, err := Multi(inputs, Hash{}, Greedy, &greedyStats); err != nil {
 		t.Fatal(err)
 	}
-	if seqStats.Joins != 2 || greedyStats.Joins != 2 {
-		t.Errorf("joins: seq=%d greedy=%d", seqStats.Joins, greedyStats.Joins)
+	seqJoins, seqMax, _ := seqStats.Snapshot()
+	greedyJoins, greedyMax, _ := greedyStats.Snapshot()
+	if seqJoins != 2 || greedyJoins != 2 {
+		t.Errorf("joins: seq=%d greedy=%d", seqJoins, greedyJoins)
 	}
-	if greedyStats.MaxIntermediate > seqStats.MaxIntermediate {
-		t.Errorf("greedy max %d > sequential max %d", greedyStats.MaxIntermediate, seqStats.MaxIntermediate)
+	if greedyMax > seqMax {
+		t.Errorf("greedy max %d > sequential max %d", greedyMax, seqMax)
 	}
 	if !strings.Contains(seqStats.String(), "max_intermediate=") {
 		t.Errorf("Stats.String = %q", seqStats.String())
@@ -221,7 +223,7 @@ func TestGreedyPrefersSharedAttributes(t *testing.T) {
 	}
 	// The first join must have been a*c or b*c (shared), both of size <= 2,
 	// so no intermediate exceeds 2.
-	if stats.MaxIntermediate > 2 {
+	if _, maxI, _ := stats.Snapshot(); maxI > 2 {
 		t.Errorf("greedy performed a cross product first: %v", stats.String())
 	}
 }

@@ -2,8 +2,8 @@ package join
 
 import (
 	"fmt"
-	"sync"
 
+	"relquery/internal/obs"
 	"relquery/internal/relation"
 )
 
@@ -11,41 +11,26 @@ import (
 // Because the paper's hardness proofs all work by making intermediate
 // results explode, MaxIntermediate is the headline number.
 //
-// A Stats is safe for concurrent observation, so one instance can be
-// shared across the parallel evaluator's workers. Read the counters only
-// after evaluation finishes (or via Snapshot): the exported fields are
-// guarded by an internal mutex that direct reads bypass, so reading them
-// while an evaluation is still running is a data race.
+// Stats is now a thin shim over obs.Metrics: every counter lives in the
+// atomic Metrics underneath, so a Stats shared across the parallel
+// evaluator's workers is race-free even when snapshotted mid-run.
 //
 // Deprecated: new code should attach an obs.Collector to the evaluator
 // (or pass an obs.Metrics to a Metered algorithm) instead. obs.Metrics
-// supersedes Stats with purely atomic counters — snapshot-while-running
-// is race-free, with no exported-field trap — plus per-algorithm tuple
-// traffic, partition/fallback counts and cache counters. Stats is kept
-// so existing callers and tests compile unchanged.
+// carries the same counters and more (per-algorithm tuple traffic,
+// partition/fallback counts, cache counters). Stats is kept only so
+// pre-obs callers compile unchanged; DESIGN.md ("Machine-checked
+// invariants") schedules its removal, and the deprecatedban analyzer
+// keeps it from gaining new callers in the meantime.
 type Stats struct {
-	mu sync.Mutex
-	// Joins is the number of binary joins performed.
-	Joins int
-	// MaxIntermediate is the largest cardinality of any relation produced
-	// while executing (including the final result).
-	MaxIntermediate int
-	// IntermediateTuples is the total number of tuples across all
-	// intermediate results (including the final result).
-	IntermediateTuples int
+	m obs.Metrics
 }
 
 func (s *Stats) observe(r *relation.Relation) {
 	if s == nil {
 		return
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.Joins++
-	if r.Len() > s.MaxIntermediate {
-		s.MaxIntermediate = r.Len()
-	}
-	s.IntermediateTuples += r.Len()
+	s.m.ObserveJoin(r.Len())
 }
 
 // Observe records an externally produced intermediate relation (used by the
@@ -54,19 +39,16 @@ func (s *Stats) Observe(r *relation.Relation) {
 	if s == nil {
 		return
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if r.Len() > s.MaxIntermediate {
-		s.MaxIntermediate = r.Len()
-	}
-	s.IntermediateTuples += r.Len()
+	s.m.ObserveIntermediate(r.Len())
 }
 
-// Snapshot returns a consistent copy of the counters.
+// Snapshot returns a consistent copy of the counters: the number of binary
+// joins performed, the largest cardinality of any relation produced while
+// executing (including the final result), and the total number of tuples
+// across all intermediate results.
 func (s *Stats) Snapshot() (joins, maxIntermediate, intermediateTuples int) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.Joins, s.MaxIntermediate, s.IntermediateTuples
+	snap := s.m.Snapshot()
+	return int(snap.Joins), int(snap.MaxIntermediate), int(snap.IntermediateTuples)
 }
 
 // String renders the statistics compactly.

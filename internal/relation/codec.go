@@ -137,7 +137,7 @@ func ReadDatabase(r io.Reader) (Database, error) {
 		}
 		scheme, err := SchemeOf(schemeLine)
 		if err != nil {
-			return nil, fmt.Errorf("relation: line %d: %v", lineno, err)
+			return nil, fmt.Errorf("relation: line %d: %w", lineno, err)
 		}
 		rel := New(scheme)
 		for {
@@ -153,7 +153,7 @@ func ReadDatabase(r io.Reader) (Database, error) {
 				return nil, fmt.Errorf("relation: line %d: tuple has %d values, scheme %v has %d attributes", lineno, len(vals), scheme, scheme.Len())
 			}
 			if _, err := rel.Add(TupleOf(vals...)); err != nil {
-				return nil, fmt.Errorf("relation: line %d: %v", lineno, err)
+				return nil, fmt.Errorf("relation: line %d: %w", lineno, err)
 			}
 		}
 		db.Put(name, rel)
@@ -206,7 +206,7 @@ func ReadRelation(r io.Reader) (name string, rel *Relation, err error) {
 		if !haveScheme {
 			scheme, err = SchemeOf(line)
 			if err != nil {
-				return "", nil, fmt.Errorf("relation: line %d: %v", i+1, err)
+				return "", nil, fmt.Errorf("relation: line %d: %w", i+1, err)
 			}
 			out = New(scheme)
 			haveScheme = true
@@ -217,7 +217,7 @@ func ReadRelation(r io.Reader) (name string, rel *Relation, err error) {
 			return "", nil, fmt.Errorf("relation: line %d: tuple has %d values, scheme has %d attributes", i+1, len(vals), scheme.Len())
 		}
 		if _, err := out.Add(TupleOf(vals...)); err != nil {
-			return "", nil, fmt.Errorf("relation: line %d: %v", i+1, err)
+			return "", nil, fmt.Errorf("relation: line %d: %w", i+1, err)
 		}
 	}
 	if !haveScheme {

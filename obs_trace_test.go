@@ -53,8 +53,7 @@ func TestExplainAnalyzeOnGadgets(t *testing.T) {
 			db := c.Database()
 
 			// Untraced sequential reference.
-			var stats join.Stats
-			ref := algebra.Evaluator{Order: join.Greedy, Stats: &stats}
+			ref := algebra.Evaluator{Order: join.Greedy}
 			want, err := ref.Eval(phi, db)
 			if err != nil {
 				t.Fatal(err)
@@ -79,16 +78,12 @@ func TestExplainAnalyzeOnGadgets(t *testing.T) {
 				t.Errorf("root span rows=%d, result has %d", root.OutputRows, want.Len())
 			}
 
-			// The trace's blow-up equals the deprecated Stats shim's and the
-			// metrics snapshot's.
-			_, statsMax, _ := stats.Snapshot()
+			// The trace's blow-up equals the metrics snapshot's: spans and
+			// counters are two views of the same evaluation.
 			traceMax := maxJoinRows(root)
-			if traceMax != statsMax {
-				t.Errorf("trace max join rows=%d, join.Stats max intermediate=%d", traceMax, statsMax)
-			}
 			snap := col.Metrics.Snapshot()
-			if int(snap.MaxIntermediate) != statsMax {
-				t.Errorf("metrics MaxIntermediate=%d, join.Stats max intermediate=%d", snap.MaxIntermediate, statsMax)
+			if traceMax != int(snap.MaxIntermediate) {
+				t.Errorf("trace max join rows=%d, metrics MaxIntermediate=%d", traceMax, snap.MaxIntermediate)
 			}
 
 			// The paper's phenomenon, visible in the trace: some join node
