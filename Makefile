@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench wcoj-bench trace fmt lint ci
+.PHONY: build test race bench wcoj-bench acyclic-bench bench-diff trace fmt lint ci
 
 build:
 	$(GO) build ./...
@@ -33,6 +33,34 @@ wcoj-bench:
 	  echo; \
 	  $(GO) test -run '^$$' -bench 'WCOJLemma1|GenericJoinDirect' -benchtime 10x -count 1 -benchmem .; \
 	} | tee BENCH_wcoj.txt
+
+# Regenerate BENCH_acyclic.txt: the greedy-vs-yannakakis comparison on
+# the acyclic blow-up families (path, star, snowflake), with the same
+# peak_rows/agm_bound metrics. CI uploads the file as an artifact and
+# gates on regressions via cmd/benchdiff.
+acyclic-bench:
+	{ \
+	  echo "Yannakakis full reducer vs greedy binary plan (ISSUE 6)"; \
+	  echo "======================================================="; \
+	  echo; \
+	  echo "Regenerate with: make acyclic-bench"; \
+	  echo "peak_rows is the largest join cardinality any node materialized"; \
+	  echo "(trace MaxIntermediate/OutputRows); agm_bound is the root join"; \
+	  echo "node's AGM bound. The yannakakis/auto rows must keep peak_rows"; \
+	  echo "at or below output + largest input — never the greedy blow-up."; \
+	  echo; \
+	  $(GO) test -run '^$$' -bench 'AcyclicYannakakis|FullReducerDirect' -benchtime 10x -count 1 -benchmem .; \
+	} | tee BENCH_acyclic.txt
+
+# Compare freshly-generated bench output against the committed baselines,
+# failing on a >20% regression of any configuration's peak_rows. This is
+# the check the CI bench-regression job runs.
+bench-diff:
+	cp BENCH_wcoj.txt /tmp/bench_wcoj_base.txt
+	cp BENCH_acyclic.txt /tmp/bench_acyclic_base.txt
+	$(MAKE) wcoj-bench acyclic-bench
+	$(GO) run ./cmd/benchdiff -metric peak_rows -max-regress 20 -report agm_bound /tmp/bench_wcoj_base.txt BENCH_wcoj.txt
+	$(GO) run ./cmd/benchdiff -metric peak_rows -max-regress 20 -report agm_bound /tmp/bench_acyclic_base.txt BENCH_acyclic.txt
 
 # Run the E7 blow-up experiment with tracing on, leaving the JSON
 # evaluation trace (span tree + metrics) in trace_e7.json — the same

@@ -40,7 +40,7 @@ func run(args []string) error {
 		query     = fs.String("query", "", "project-join expression, e.g. 'pi[A B](T) * pi[B C](T)'")
 		queryFile = fs.String("query-file", "", "read the expression from a file instead")
 		engine    = fs.String("engine", "materialize", "evaluation engine: materialize or tableau")
-		algName   = fs.String("join", "hash", "join algorithm for the materializing engine: "+strings.Join(join.Names(), ", ")+"; or auto, which switches blow-up-prone n-ary joins to the worst-case-optimal wcoj")
+		algName   = fs.String("join", "hash", "join strategy for the materializing engine: "+strings.Join(join.StrategyNames(), ", ")+"; auto routes acyclic n-ary joins to yannakakis, blow-up-prone cyclic ones to wcoj, the rest to the binary default")
 		orderName = fs.String("order", "greedy", "join order for the materializing engine: greedy or sequential")
 		budget    = fs.Int("budget", 0, "abort if any intermediate relation exceeds this many tuples (0 = unlimited)")
 		stats     = fs.Bool("stats", false, "print evaluation statistics to stderr")
@@ -69,17 +69,18 @@ func run(args []string) error {
 	if *parallel < 0 {
 		return usageError(fs, "-parallel must be a non-negative worker count, got %d", *parallel)
 	}
-	// -join=auto keeps the default binary algorithm but lets the
-	// evaluator switch individual n-ary join nodes to the
-	// worst-case-optimal generic join when the binary plan's estimated
-	// peak intermediate exceeds the node's AGM bound.
-	autoWCOJ := *algName == "auto"
+	// -join=auto keeps the default binary algorithm but turns on the
+	// evaluator's three-way selector per n-ary join node: α-acyclic nodes
+	// run Yannakakis' full reducer, cyclic nodes whose binary plan's
+	// estimated peak intermediate exceeds the AGM bound run the
+	// worst-case-optimal generic join, and the rest keep the binary plan.
+	auto := *algName == "auto"
 	var alg join.Algorithm
-	if !autoWCOJ {
+	if !auto {
 		var err error
 		alg, err = join.ByName(*algName)
 		if err != nil {
-			return usageError(fs, "-join: unknown algorithm %q (want %s, or auto)", *algName, strings.Join(join.Names(), ", "))
+			return usageError(fs, "-join: unknown strategy %q (valid strategies: %s)", *algName, strings.Join(join.StrategyNames(), ", "))
 		}
 	}
 	order, err := join.OrderByName(*orderName)
@@ -127,7 +128,7 @@ func run(args []string) error {
 	}
 
 	if *explain {
-		ev := algebra.Evaluator{Algorithm: alg, Order: order, MaxIntermediate: *budget, AutoWCOJ: autoWCOJ}
+		ev := algebra.Evaluator{Algorithm: alg, Order: order, MaxIntermediate: *budget, AutoWCOJ: auto, AutoYannakakis: auto}
 		plan, err := algebra.ExplainWith(&ev, expr, db)
 		if err != nil {
 			return err
@@ -158,7 +159,7 @@ func run(args []string) error {
 	var result *relation.Relation
 	switch *engine {
 	case "materialize":
-		opts := algebra.EvalOptions{Parallelism: *parallel, Cache: *cache, AutoWCOJ: autoWCOJ}
+		opts := algebra.EvalOptions{Parallelism: *parallel, Cache: *cache, AutoWCOJ: auto, AutoYannakakis: auto}
 		// When the parallel engine is on and -join was left at its
 		// default, let the evaluator pick the partitioned parallel hash
 		// join; an explicit -join always wins.
@@ -182,6 +183,7 @@ func run(args []string) error {
 			Parallelism:     opts.Parallelism,
 			Cache:           opts.Cache,
 			AutoWCOJ:        opts.AutoWCOJ,
+			AutoYannakakis:  opts.AutoYannakakis,
 			Collector:       collector,
 		}
 		if opts.Parallelism > 1 && !joinFlagSet {

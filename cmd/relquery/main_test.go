@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"relquery/internal/obs"
@@ -47,13 +48,28 @@ func TestRunQueryFile(t *testing.T) {
 
 func TestRunJoinAlgorithmsAndOrders(t *testing.T) {
 	db := writeFile(t, "db.rel", testDB)
-	for _, alg := range []string{"hash", "sortmerge", "nestedloop"} {
+	for _, alg := range []string{"hash", "sortmerge", "nestedloop", "yannakakis", "auto"} {
 		for _, order := range []string{"greedy", "sequential"} {
 			err := run([]string{"-db", db, "-query", "pi[A B](T) * pi[B C](T)",
 				"-join", alg, "-order", order, "-stats", "-count"})
 			if err != nil {
 				t.Errorf("%s/%s: %v", alg, order, err)
 			}
+		}
+	}
+}
+
+// TestRunUnknownJoinListsStrategies: a bogus -join value must fail with
+// an error naming every valid strategy, including the auto selector.
+func TestRunUnknownJoinListsStrategies(t *testing.T) {
+	db := writeFile(t, "db.rel", testDB)
+	err := run([]string{"-db", db, "-query", "T", "-join", "bogus"})
+	if err == nil {
+		t.Fatal("unknown -join strategy accepted")
+	}
+	for _, want := range []string{"bogus", "hash", "wcoj", "yannakakis", "auto"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("-join error %q does not mention %q", err, want)
 		}
 	}
 }

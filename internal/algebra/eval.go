@@ -25,6 +25,9 @@ type EvalOptions struct {
 	// AutoWCOJ lets blow-up-prone n-ary join nodes switch to the
 	// worst-case-optimal generic join (see Evaluator.AutoWCOJ).
 	AutoWCOJ bool
+	// AutoYannakakis routes α-acyclic n-ary join nodes to Yannakakis'
+	// algorithm (see Evaluator.AutoYannakakis).
+	AutoYannakakis bool
 	// Collector, when non-nil, traces the evaluation (see
 	// Evaluator.Collector).
 	Collector *obs.Collector
@@ -33,7 +36,7 @@ type EvalOptions struct {
 // NewEvaluator returns an evaluator configured by the options, with
 // default join algorithm and order.
 func (o EvalOptions) NewEvaluator() *Evaluator {
-	return &Evaluator{Parallelism: o.Parallelism, Cache: o.Cache, AutoWCOJ: o.AutoWCOJ, Collector: o.Collector}
+	return &Evaluator{Parallelism: o.Parallelism, Cache: o.Cache, AutoWCOJ: o.AutoWCOJ, AutoYannakakis: o.AutoYannakakis, Collector: o.Collector}
 }
 
 // Evaluator materializes project–join expressions against a database. The
@@ -58,6 +61,17 @@ type Evaluator struct {
 	// Set Algorithm to join.Generic{} to force the generic join on every
 	// join node instead.
 	AutoWCOJ bool
+	// AutoYannakakis, when true, runs GYO ear removal over each n-ary
+	// join node's scheme hypergraph and evaluates α-acyclic nodes with
+	// Yannakakis' algorithm (join.Yannakakis): full semijoin reduction
+	// along the join tree, then joins that never outgrow the output — the
+	// Durand–Grandjean tractable frontier. Cyclic nodes fall through to
+	// AutoWCOJ (if set) and the binary planner; together the two flags are
+	// the -join=auto three-way selector: acyclic → yannakakis, cyclic with
+	// predicted blow-up → wcoj, else greedy binary. Set Algorithm to
+	// join.Yannakakis{} to force the strategy on every join node instead
+	// (cyclic nodes then use its pairwise-reduced binary fallback).
+	AutoYannakakis bool
 	// SemijoinPrefilter, when true, runs pairwise semijoin reduction to
 	// fixpoint over each n-ary join's inputs before joining. The filter is
 	// always sound; it is complete (removes every dangling tuple) exactly
@@ -349,6 +363,23 @@ func (ev *Evaluator) multi(args []*relation.Relation, sp *obs.Span) (*relation.R
 		}
 	}
 	if len(args) > 1 {
+		y, forcedY := alg.(join.Yannakakis)
+		if forcedY || (ev.AutoYannakakis && len(args) > 2) {
+			// A binary join's only intermediate is its own output, so the
+			// full reducer has nothing to save there — auto mode runs GYO
+			// detection on 3+-ary nodes only. Forced mode always detects:
+			// two edges are trivially acyclic.
+			if join.Acyclic(join.SchemesOf(args)) {
+				if !forcedY {
+					y = join.Yannakakis{Metrics: ev.Collector.M()}
+				}
+				return ev.multiYannakakis(y, args, sp)
+			}
+			// Cyclic: record the verdict and fall through — to the AGM
+			// blow-up check under auto, or (forced) to the binary planner
+			// over the algorithm's pairwise-reduced joins.
+			sp.SetStructure(obs.StructureCyclic)
+		}
 		if g, forced := alg.(join.Generic); forced {
 			return ev.multiGeneric(g, args, sp)
 		}
@@ -408,6 +439,33 @@ func (ev *Evaluator) multiGeneric(g join.Generic, args []*relation.Relation, sp 
 	}
 	if err := ev.check(out); err != nil {
 		return nil, err
+	}
+	return out, nil
+}
+
+// multiYannakakis evaluates an α-acyclic n-ary join node with Yannakakis'
+// algorithm: full semijoin reduction along the GYO join tree, then joins
+// that never outgrow the output. Every relation the algorithm
+// materializes — each semijoin result and each tree join — is folded into
+// the span's MaxIntermediate and checked against the budget, so the
+// output-boundedness claim is visible in (and enforced on) the trace.
+func (ev *Evaluator) multiYannakakis(y join.Yannakakis, args []*relation.Relation, sp *obs.Span) (*relation.Relation, error) {
+	if sp != nil {
+		sp.SetAGMBound(join.AGMBoundOf(args))
+		sp.SetAlgorithm(y.Name(), 0)
+		sp.SetStructure(obs.StructureAcyclic)
+	}
+	observe := func(r *relation.Relation) error {
+		sp.ObservePeak(r.Len())
+		return ev.check(r)
+	}
+	out, ys, err := y.JoinAllStats(args, observe)
+	if err != nil {
+		return nil, err
+	}
+	if sp != nil {
+		sp.ObservePeak(out.Len())
+		sp.SetYannakakis(ys.Semijoins, ys.ReducedRows)
 	}
 	return out, nil
 }

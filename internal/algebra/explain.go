@@ -141,8 +141,14 @@ func renderSpan(b *strings.Builder, sp *obs.Span, prefix, childPrefix string) {
 	if sp.Workers > 0 {
 		fmt.Fprintf(b, " workers=%d", sp.Workers)
 	}
+	if sp.Structure != "" {
+		fmt.Fprintf(b, " structure=%s", sp.Structure)
+	}
 	if sp.Candidates > 0 || sp.Intersections > 0 {
 		fmt.Fprintf(b, " candidates=%d intersections=%d", sp.Candidates, sp.Intersections)
+	}
+	if sp.Semijoins > 0 {
+		fmt.Fprintf(b, " semijoins=%d reduced=%d", sp.Semijoins, sp.ReducedRows)
 	}
 	if sp.MaxIntermediate > sp.OutputRows {
 		fmt.Fprintf(b, " peak=%d", sp.MaxIntermediate)

@@ -15,114 +15,23 @@ type Hypergraph struct {
 	Edges []relation.Scheme
 }
 
-// JoinTree is the output of a successful GYO reduction: Parent[i] is the
-// index of edge i's parent (the edge that witnessed its removal as an
-// ear), or -1 for the root. Order is the ear-removal order, ending with
-// the root; visiting Order[0], Order[1], … therefore performs a
-// leaf-to-root semijoin sweep.
-type JoinTree struct {
-	Parent []int
-	Order  []int
-}
+// JoinTree is the output of a successful GYO reduction — an alias for
+// join.JoinTree, where the reduction now lives so the planner can run it
+// without importing deps (deps sits above join in the package hierarchy).
+type JoinTree = join.JoinTree
 
 // IsAcyclic reports whether the hypergraph is α-acyclic, via the
 // Graham–Yu–Özsoyoğlu (GYO) reduction: repeatedly (1) delete attributes
 // that occur in exactly one edge, and (2) delete edges contained in
 // another edge, recording the container as the parent. The hypergraph is
 // acyclic iff everything reduces away. When acyclic, the returned JoinTree
-// drives Yannakakis' algorithm.
+// drives Yannakakis' algorithm. It delegates to join.JoinTreeOf.
 func (h Hypergraph) IsAcyclic() (bool, *JoinTree) {
-	n := len(h.Edges)
-	if n == 0 {
-		return true, &JoinTree{}
-	}
-	// Work on mutable attribute sets.
-	edges := make([]map[relation.Attribute]bool, n)
-	for i, e := range h.Edges {
-		edges[i] = make(map[relation.Attribute]bool, e.Len())
-		for _, a := range e.Attrs() {
-			edges[i][a] = true
-		}
-	}
-	alive := make([]bool, n)
-	for i := range alive {
-		alive[i] = true
-	}
-	tree := &JoinTree{Parent: make([]int, n)}
-	for i := range tree.Parent {
-		tree.Parent[i] = -1
-	}
-	aliveCount := n
-
-	for aliveCount > 1 {
-		progressed := false
-
-		// Rule 1: remove attributes occurring in exactly one live edge.
-		count := make(map[relation.Attribute]int)
-		for i, e := range edges {
-			if !alive[i] {
-				continue
-			}
-			for a := range e {
-				count[a]++
-			}
-		}
-		for i, e := range edges {
-			if !alive[i] {
-				continue
-			}
-			for a := range e {
-				if count[a] == 1 {
-					delete(e, a)
-					progressed = true
-				}
-			}
-		}
-
-		// Rule 2: remove edges contained in another live edge.
-		for i := 0; i < n && aliveCount > 1; i++ {
-			if !alive[i] {
-				continue
-			}
-			for j := 0; j < n; j++ {
-				if i == j || !alive[j] {
-					continue
-				}
-				if containsSet(edges[j], edges[i]) {
-					alive[i] = false
-					aliveCount--
-					tree.Parent[i] = j
-					tree.Order = append(tree.Order, i)
-					progressed = true
-					break
-				}
-			}
-		}
-
-		if !progressed {
-			return false, nil
-		}
-	}
-	// The last live edge is the root.
-	for i := range alive {
-		if alive[i] {
-			tree.Order = append(tree.Order, i)
-		}
+	tree, ok := join.JoinTreeOf(h.Edges)
+	if !ok {
+		return false, nil
 	}
 	return true, tree
-}
-
-// containsSet reports whether sub ⊆ super.
-func containsSet(super, sub map[relation.Attribute]bool) bool {
-	if len(sub) > len(super) {
-		return false
-	}
-	for a := range sub {
-		if !super[a] {
-			return false
-		}
-	}
-	return true
 }
 
 // Semijoin computes r ⋉ s: the tuples of r that join with at least one
@@ -135,43 +44,12 @@ func Semijoin(r, s *relation.Relation) (*relation.Relation, error) {
 // leaf-to-root semijoin sweep followed by a root-to-leaf sweep, after
 // which every tuple of every relation participates in at least one join
 // result (global consistency). It reports an error when the relations'
-// scheme hypergraph is cyclic.
+// scheme hypergraph is cyclic. It delegates to join.FullReduce, where the
+// reducer now lives as part of the join.Yannakakis strategy.
 func FullReduce(rels []*relation.Relation) ([]*relation.Relation, error) {
-	h := Hypergraph{Edges: make([]relation.Scheme, len(rels))}
-	for i, r := range rels {
-		h.Edges[i] = r.Scheme()
-	}
-	acyclic, tree := h.IsAcyclic()
-	if !acyclic {
-		return nil, fmt.Errorf("deps: full reduction requires an acyclic join (schemes %v)", h.Edges)
-	}
-	out := make([]*relation.Relation, len(rels))
-	copy(out, rels)
-
-	// Leaf to root: parent ⋉ child, in removal order.
-	for _, i := range tree.Order {
-		p := tree.Parent[i]
-		if p < 0 {
-			continue
-		}
-		reduced, err := Semijoin(out[p], out[i])
-		if err != nil {
-			return nil, err
-		}
-		out[p] = reduced
-	}
-	// Root to leaf: child ⋉ parent, in reverse order.
-	for k := len(tree.Order) - 1; k >= 0; k-- {
-		i := tree.Order[k]
-		p := tree.Parent[i]
-		if p < 0 {
-			continue
-		}
-		reduced, err := Semijoin(out[i], out[p])
-		if err != nil {
-			return nil, err
-		}
-		out[i] = reduced
+	out, _, err := join.FullReduce(rels)
+	if err != nil {
+		return nil, fmt.Errorf("deps: %w", err)
 	}
 	return out, nil
 }
@@ -181,40 +59,18 @@ func FullReduce(rels []*relation.Relation) ([]*relation.Relation, error) {
 // the join tree from leaves to root. After full reduction every
 // intermediate join result joins losslessly with the remaining relations,
 // so intermediate sizes are bounded by |output| · max |input| instead of
-// exploding. It reports an error when the scheme hypergraph is cyclic.
+// exploding. It reports an error when the scheme hypergraph is cyclic —
+// unlike join.Yannakakis, which quietly falls back to a binary plan
+// there, this wrapper is for callers that rely on acyclicity.
 func AcyclicJoin(rels []*relation.Relation) (*relation.Relation, error) {
 	if len(rels) == 0 {
 		return nil, fmt.Errorf("deps: AcyclicJoin of zero relations")
 	}
-	reduced, err := FullReduce(rels)
-	if err != nil {
-		return nil, err
+	edges := join.SchemesOf(rels)
+	if !join.Acyclic(edges) {
+		return nil, fmt.Errorf("deps: acyclic join requires an acyclic hypergraph (schemes %v)", edges)
 	}
-	h := Hypergraph{Edges: make([]relation.Scheme, len(rels))}
-	for i, r := range rels {
-		h.Edges[i] = r.Scheme()
-	}
-	_, tree := h.IsAcyclic()
-	// Join children into parents, leaves first.
-	acc := make([]*relation.Relation, len(reduced))
-	copy(acc, reduced)
-	root := -1
-	for _, i := range tree.Order {
-		p := tree.Parent[i]
-		if p < 0 {
-			root = i
-			continue
-		}
-		joined, err := acc[p].Join(acc[i])
-		if err != nil {
-			return nil, err
-		}
-		acc[p] = joined
-	}
-	if root < 0 {
-		return nil, fmt.Errorf("deps: internal error: join tree has no root")
-	}
-	return acc[root], nil
+	return join.Yannakakis{}.JoinAll(rels)
 }
 
 // HoldsIn reports whether the relation satisfies the join dependency:

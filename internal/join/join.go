@@ -49,7 +49,7 @@ type MultiAlgorithm interface {
 }
 
 // ByName returns the algorithm with the given name ("hash", "sortmerge",
-// "nestedloop", "parallel", "wcoj").
+// "nestedloop", "parallel", "wcoj", "yannakakis").
 func ByName(name string) (Algorithm, error) {
 	switch name {
 	case "hash":
@@ -62,13 +62,22 @@ func ByName(name string) (Algorithm, error) {
 		return Parallel{}, nil
 	case "wcoj":
 		return Generic{}, nil
+	case "yannakakis":
+		return Yannakakis{}, nil
 	default:
-		return nil, fmt.Errorf("join: unknown algorithm %q (want hash, sortmerge, nestedloop, parallel or wcoj)", name)
+		return nil, fmt.Errorf("join: unknown algorithm %q (want hash, sortmerge, nestedloop, parallel, wcoj or yannakakis)", name)
 	}
 }
 
 // Names lists the available algorithm names.
-func Names() []string { return []string{"hash", "sortmerge", "nestedloop", "parallel", "wcoj"} }
+func Names() []string {
+	return []string{"hash", "sortmerge", "nestedloop", "parallel", "wcoj", "yannakakis"}
+}
+
+// StrategyNames lists every value the CLIs accept for -join: the concrete
+// algorithms plus the "auto" selector (acyclic → yannakakis, cyclic with
+// predicted blow-up → wcoj, else the binary default).
+func StrategyNames() []string { return append(Names(), "auto") }
 
 // combiner precomputes how to stitch a matching (left, right) tuple pair
 // into a tuple over the join's output scheme: all of left's columns, then

@@ -1,0 +1,228 @@
+package join
+
+import (
+	"fmt"
+
+	"relquery/internal/obs"
+	"relquery/internal/relation"
+)
+
+// Yannakakis evaluates α-acyclic n-ary natural joins with Yannakakis'
+// algorithm: GYO ear removal yields a join tree, a leaf-to-root plus
+// root-to-leaf semijoin sweep (the "full reducer") deletes every dangling
+// tuple, and the reduced relations are then joined along the tree. After
+// full reduction every tuple of every relation extends to at least one
+// output tuple, so each intermediate join along the tree is bounded by
+// the output projected onto its subtree — evaluation is linear in input
+// plus output, the Durand–Grandjean tractable frontier of exactly the
+// problem the paper proves hard for general (cyclic) queries.
+//
+// The contrast with the other strategies: the greedy binary planner can
+// be forced to materialize dangling combinations exponentially larger
+// than the output, and the worst-case-optimal Generic join, while never
+// exceeding the AGM bound, still sorts every input into a trie up front.
+// On acyclic inputs Yannakakis does neither — semijoins only shrink, and
+// the tree joins never outgrow the output.
+//
+// On a cyclic hypergraph the algorithm does not apply; JoinAll then
+// falls back to the greedy binary plan over semijoin-reduced pairwise
+// joins (sound for any join), so the type is safe to force on arbitrary
+// queries via -join=yannakakis. The algebra evaluator detects the cyclic
+// case up front and routes it through its normal binary path instead, so
+// budgets and span accounting stay uniform.
+type Yannakakis struct {
+	// Metrics, when non-nil, receives per-join counters: each semijoin
+	// pass's output cardinality, the tree joins' tuple traffic (via the
+	// inner hash join), and the per-evaluation yannakakis counters.
+	Metrics *obs.Metrics
+}
+
+// YannakakisStats reports one acyclic join's full-reducer effort.
+type YannakakisStats struct {
+	// Acyclic records the GYO verdict: false means the hypergraph was
+	// cyclic and the greedy-binary fallback produced the result.
+	Acyclic bool
+	// Semijoins counts the semijoin passes executed by the full reducer
+	// (bottom-up plus top-down; 2·(edges−1) on acyclic inputs).
+	Semijoins int
+	// InputRows totals the input cardinalities before reduction.
+	InputRows int
+	// ReducedRows totals the cardinalities surviving the full reducer —
+	// the "semijoin-pass cardinality" EXPLAIN ANALYZE reports. Dangling
+	// tuples are exactly InputRows − ReducedRows.
+	ReducedRows int
+}
+
+// Name implements Algorithm.
+func (Yannakakis) Name() string { return "yannakakis" }
+
+// WithMetrics implements Metered.
+func (y Yannakakis) WithMetrics(m *obs.Metrics) Algorithm {
+	y.Metrics = m
+	return y
+}
+
+// Join implements Algorithm; two relations are always α-acyclic, so a
+// binary Yannakakis join is a pairwise full reduction (one semijoin each
+// way) followed by a hash join of the reduced sides.
+func (y Yannakakis) Join(l, r *relation.Relation) (*relation.Relation, error) {
+	return y.JoinAll([]*relation.Relation{l, r})
+}
+
+// JoinAll implements MultiAlgorithm.
+func (y Yannakakis) JoinAll(inputs []*relation.Relation) (*relation.Relation, error) {
+	out, _, err := y.JoinAllStats(inputs, nil)
+	return out, err
+}
+
+// JoinAllStats is JoinAll returning the full-reducer counters for trace
+// spans. observe, when non-nil, is called with every relation the
+// algorithm materializes — each semijoin result and each join along the
+// tree — and a non-nil return aborts evaluation (the evaluator's budget
+// and peak-tracking hook). Like Multi, joining zero relations is an
+// error and a single relation passes through unchanged.
+func (y Yannakakis) JoinAllStats(inputs []*relation.Relation, observe func(*relation.Relation) error) (*relation.Relation, YannakakisStats, error) {
+	switch len(inputs) {
+	case 0:
+		return nil, YannakakisStats{}, fmt.Errorf("join: JoinAll requires at least one input")
+	case 1:
+		return inputs[0], YannakakisStats{Acyclic: true, InputRows: inputs[0].Len(), ReducedRows: inputs[0].Len()}, nil
+	}
+	stats := YannakakisStats{}
+	for _, r := range inputs {
+		stats.InputRows += r.Len()
+	}
+	tree, ok := JoinTreeOf(SchemesOf(inputs))
+	if !ok {
+		// Cyclic: no join tree exists. Fall back to the greedy binary
+		// plan with pairwise-reduced joins — sound for any join, just
+		// without the acyclic output-boundedness guarantee.
+		var alg Algorithm = Hash{Metrics: y.Metrics}
+		if observe != nil {
+			alg = observedAlgorithm{inner: alg, observe: observe}
+		}
+		out, err := Multi(inputs, alg, Greedy, nil)
+		return out, stats, err
+	}
+	stats.Acyclic = true
+
+	reduced, semijoins, err := y.fullReduce(inputs, tree, observe)
+	if err != nil {
+		return nil, stats, err
+	}
+	stats.Semijoins = semijoins
+	for _, r := range reduced {
+		stats.ReducedRows += r.Len()
+	}
+
+	// Join children into parents along the tree, leaves first: with the
+	// relations fully reduced, every intermediate tuple extends to an
+	// output tuple, so no step outgrows the output.
+	alg := Hash{Metrics: y.Metrics}
+	acc := make([]*relation.Relation, len(reduced))
+	copy(acc, reduced)
+	for _, i := range tree.Order {
+		p := tree.Parent[i]
+		if p < 0 {
+			continue
+		}
+		joined, err := alg.Join(acc[p], acc[i])
+		if err != nil {
+			return nil, stats, err
+		}
+		if observe != nil {
+			if err := observe(joined); err != nil {
+				return nil, stats, err
+			}
+		}
+		acc[p] = joined
+	}
+	root := tree.Root()
+	if root < 0 {
+		return nil, stats, fmt.Errorf("join: internal error: join tree has no root")
+	}
+	y.Metrics.Yannakakis()
+	return acc[root], stats, nil
+}
+
+// fullReduce runs the two semijoin sweeps over the join tree: leaf to
+// root (parent ⋉ child, in ear-removal order), then root to leaf (child
+// ⋉ parent, reversed). After both sweeps the relations are globally
+// consistent: every remaining tuple participates in at least one output
+// tuple. observe (optional) sees every semijoin result.
+func (y Yannakakis) fullReduce(rels []*relation.Relation, tree *JoinTree, observe func(*relation.Relation) error) ([]*relation.Relation, int, error) {
+	out := make([]*relation.Relation, len(rels))
+	copy(out, rels)
+	semijoins := 0
+	reduce := func(dst, src int) error {
+		reduced, err := Semijoin(out[dst], out[src])
+		if err != nil {
+			return err
+		}
+		semijoins++
+		y.Metrics.Semijoin(reduced.Len())
+		if observe != nil {
+			if err := observe(reduced); err != nil {
+				return err
+			}
+		}
+		out[dst] = reduced
+		return nil
+	}
+	for _, i := range tree.Order {
+		if p := tree.Parent[i]; p >= 0 {
+			if err := reduce(p, i); err != nil {
+				return nil, semijoins, err
+			}
+		}
+	}
+	for k := len(tree.Order) - 1; k >= 0; k-- {
+		i := tree.Order[k]
+		if p := tree.Parent[i]; p >= 0 {
+			if err := reduce(i, p); err != nil {
+				return nil, semijoins, err
+			}
+		}
+	}
+	return out, semijoins, nil
+}
+
+// FullReduce runs Yannakakis' full reducer over an acyclic join and
+// returns the reduced relations together with the number of semijoins
+// performed. It reports an error when the relations' scheme hypergraph
+// is cyclic — pairwise reduction to fixpoint (ReduceFixpoint) is the
+// sound-but-incomplete alternative there.
+func FullReduce(rels []*relation.Relation) ([]*relation.Relation, int, error) {
+	edges := SchemesOf(rels)
+	tree, ok := JoinTreeOf(edges)
+	if !ok {
+		return nil, 0, fmt.Errorf("join: full reduction requires an acyclic join (schemes %v)", edges)
+	}
+	return Yannakakis{}.fullReduce(rels, tree, nil)
+}
+
+// observedAlgorithm wraps an Algorithm and reports every join output to
+// an observe hook, aborting when the hook errors.
+type observedAlgorithm struct {
+	inner   Algorithm
+	observe func(*relation.Relation) error
+}
+
+func (o observedAlgorithm) Name() string { return o.inner.Name() }
+
+func (o observedAlgorithm) Join(l, r *relation.Relation) (*relation.Relation, error) {
+	out, err := o.inner.Join(l, r)
+	if err != nil {
+		return nil, err
+	}
+	if err := o.observe(out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+var (
+	_ Algorithm      = Yannakakis{}
+	_ Metered        = Yannakakis{}
+	_ MultiAlgorithm = Yannakakis{}
+)

@@ -57,6 +57,10 @@ type Metrics struct {
 	wcojCandidates    atomic.Int64
 	wcojIntersections atomic.Int64
 
+	yannakakisJoins atomic.Int64
+	semijoins       atomic.Int64
+	semijoinRows    atomic.Int64
+
 	cacheHits          atomic.Int64
 	cacheMisses        atomic.Int64
 	cacheInvalidations atomic.Int64
@@ -146,6 +150,25 @@ func (m *Metrics) WCOJ(candidates, intersections int) {
 	m.wcojIntersections.Add(int64(intersections))
 }
 
+// Semijoin records one semijoin pass producing out tuples (the full
+// reducer's sweeps and the pairwise fixpoint prefilter both report here).
+func (m *Metrics) Semijoin(out int) {
+	if m == nil {
+		return
+	}
+	m.semijoins.Add(1)
+	m.semijoinRows.Add(int64(out))
+}
+
+// Yannakakis records one acyclic n-ary join evaluated by the full
+// reducer. Per-pass semijoin counts arrive separately via Semijoin.
+func (m *Metrics) Yannakakis() {
+	if m == nil {
+		return
+	}
+	m.yannakakisJoins.Add(1)
+}
+
 // CacheHit records a subexpression served from a cache (the per-call memo
 // or the shared fingerprint-keyed cache) without re-evaluation.
 func (m *Metrics) CacheHit() {
@@ -195,6 +218,9 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 		WCOJJoins:           m.wcojJoins.Load(),
 		WCOJCandidates:      m.wcojCandidates.Load(),
 		WCOJIntersections:   m.wcojIntersections.Load(),
+		YannakakisJoins:     m.yannakakisJoins.Load(),
+		Semijoins:           m.semijoins.Load(),
+		SemijoinRows:        m.semijoinRows.Load(),
 		CacheHits:           m.cacheHits.Load(),
 		CacheMisses:         m.cacheMisses.Load(),
 		CacheInvalidations:  m.cacheInvalidations.Load(),
@@ -237,6 +263,15 @@ type MetricsSnapshot struct {
 	// WCOJIntersections totals the attribute-level intersection passes
 	// the generic join performed.
 	WCOJIntersections int64 `json:"wcoj_intersections"`
+	// YannakakisJoins counts n-ary joins evaluated by the Yannakakis
+	// full reducer over an acyclic join tree.
+	YannakakisJoins int64 `json:"yannakakis_joins"`
+	// Semijoins counts semijoin passes (full-reducer sweeps and the
+	// pairwise fixpoint prefilter).
+	Semijoins int64 `json:"semijoins"`
+	// SemijoinRows totals the output cardinalities of all semijoin
+	// passes — the per-pass cardinality trail of the full reducer.
+	SemijoinRows int64 `json:"semijoin_rows"`
 	// CacheHits counts subexpressions served from a cache.
 	CacheHits int64 `json:"cache_hits"`
 	// CacheMisses counts subexpressions that were evaluated.
@@ -252,10 +287,12 @@ func (s MetricsSnapshot) String() string {
 			"built=%d probed=%d emitted=%d "+
 			"partitioned=%d partitions=%d broadcast=%d seq_fallback=%d "+
 			"wcoj=%d wcoj_candidates=%d wcoj_intersections=%d "+
+			"yannakakis=%d semijoins=%d semijoin_rows=%d "+
 			"cache_hits=%d cache_misses=%d cache_invalidations=%d",
 		s.Joins, s.MaxIntermediate, s.IntermediateTuples,
 		s.TuplesBuilt, s.TuplesProbed, s.TuplesEmitted,
 		s.PartitionedJoins, s.Partitions, s.BroadcastJoins, s.SequentialFallbacks,
 		s.WCOJJoins, s.WCOJCandidates, s.WCOJIntersections,
+		s.YannakakisJoins, s.Semijoins, s.SemijoinRows,
 		s.CacheHits, s.CacheMisses, s.CacheInvalidations)
 }

@@ -29,6 +29,9 @@ func TestNilSafety(t *testing.T) {
 	m.Partitioned(8)
 	m.Broadcast()
 	m.SequentialFallback()
+	m.WCOJ(3, 4)
+	m.Semijoin(5)
+	m.Yannakakis()
 	m.CacheHit()
 	m.CacheMiss()
 	m.CacheInvalidated(2)
@@ -48,6 +51,9 @@ func TestNilSafety(t *testing.T) {
 	sp.SetCache(CacheHit)
 	sp.SetAGMBound(64)
 	sp.ObservePeak(9)
+	sp.SetWCOJ(3, 4)
+	sp.SetStructure(StructureAcyclic)
+	sp.SetYannakakis(4, 12)
 	sp.SetErr(errors.New("boom"))
 	if sp.Wall() != 0 {
 		t.Fatalf("nil Span.Wall = %v, want 0", sp.Wall())
@@ -64,6 +70,10 @@ func TestMetricsCounters(t *testing.T) {
 	m.Partitioned(8)
 	m.Broadcast()
 	m.SequentialFallback()
+	m.WCOJ(6, 11)
+	m.Semijoin(3)
+	m.Semijoin(0)
+	m.Yannakakis()
 	m.CacheHit()
 	m.CacheMiss()
 	m.CacheMiss()
@@ -81,6 +91,12 @@ func TestMetricsCounters(t *testing.T) {
 		Partitions:          16,
 		BroadcastJoins:      1,
 		SequentialFallbacks: 1,
+		WCOJJoins:           1,
+		WCOJCandidates:      6,
+		WCOJIntersections:   11,
+		YannakakisJoins:     1,
+		Semijoins:           2,
+		SemijoinRows:        3,
 		CacheHits:           1,
 		CacheMisses:         2,
 		CacheInvalidations:  4,

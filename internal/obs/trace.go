@@ -20,6 +20,14 @@ const (
 	CacheMiss = "miss"
 )
 
+// Span join-hypergraph structures, recorded when the evaluator ran GYO
+// ear removal over a join node. Empty means the structure was not
+// examined (binary algorithm chosen without detection).
+const (
+	StructureAcyclic = "acyclic"
+	StructureCyclic  = "cyclic"
+)
+
 // Span is one operator's execution record. A span tree mirrors the
 // evaluated expression tree: a join span's children are its argument
 // subtrees, a projection span's child is its input. A node served from a
@@ -72,6 +80,15 @@ type Span struct {
 	// Intersections counts the attribute-level intersection passes of a
 	// worst-case-optimal generic join (algorithm=wcoj spans only).
 	Intersections int `json:"intersections,omitempty"`
+	// Structure is the GYO verdict on the join node's hypergraph
+	// (StructureAcyclic or StructureCyclic), when detection ran.
+	Structure string `json:"structure,omitempty"`
+	// Semijoins counts the semijoin passes of a Yannakakis full reduction
+	// (algorithm=yannakakis spans only).
+	Semijoins int `json:"semijoins,omitempty"`
+	// ReducedRows totals the input cardinalities surviving the full
+	// reducer; InputRows' sum minus this is the dangling tuples removed.
+	ReducedRows int `json:"reduced_rows,omitempty"`
 	// Err records the node's evaluation error, if any (budget aborts show
 	// up here).
 	Err string `json:"error,omitempty"`
@@ -165,6 +182,24 @@ func (s *Span) SetWCOJ(candidates, intersections int) {
 	}
 	s.Candidates = candidates
 	s.Intersections = intersections
+}
+
+// SetStructure records the GYO verdict on the join node's hypergraph.
+func (s *Span) SetStructure(structure string) {
+	if s == nil {
+		return
+	}
+	s.Structure = structure
+}
+
+// SetYannakakis records a full reduction's semijoin pass count and
+// surviving input cardinality.
+func (s *Span) SetYannakakis(semijoins, reducedRows int) {
+	if s == nil {
+		return
+	}
+	s.Semijoins = semijoins
+	s.ReducedRows = reducedRows
 }
 
 // SetAGMBound records the AGM worst-case output bound for a join span.
