@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench wcoj-bench acyclic-bench bench-diff trace fmt lint ci
+.PHONY: build test race bench wcoj-bench acyclic-bench bench-diff fault-bench stress trace fmt lint ci
 
 build:
 	$(GO) build ./...
@@ -62,6 +62,37 @@ bench-diff:
 	$(GO) run ./cmd/benchdiff -metric peak_rows -max-regress 20 -report agm_bound /tmp/bench_wcoj_base.txt BENCH_wcoj.txt
 	$(GO) run ./cmd/benchdiff -metric peak_rows -max-regress 20 -report agm_bound /tmp/bench_acyclic_base.txt BENCH_acyclic.txt
 
+# Fault-injection stress matrix, race-enabled: the governor and fault
+# harness suites in full, then every injected failure path — cancel
+# mid-join, worker panic and drain, sticky-failure broadcast, graceful
+# degradation, admission rejection, deadline kill — across all four
+# join strategies, the three SAT solvers, and the xorchain2 Lemma 1
+# acceptance gadget. CI runs this as its own job; `make stress`
+# reproduces it locally.
+stress:
+	$(GO) test -race -count=1 ./internal/fault/ ./internal/governor/
+	$(GO) test -race -count=1 \
+	  -run 'Cancel|Panic|Degrad|Drain|Governor|Admission|Deadline|XorChain2|SolveContext|Satisfiable|Interrupted' \
+	  ./internal/algebra/ ./internal/join/ ./internal/sat/ .
+
+# Regenerate BENCH_fault.txt: the cost of a compiled-in injection site
+# when no script is registered (the production configuration — must be
+# indistinguishable from a nil check) and when a script is registered
+# but no rule matches the point. Recorded alongside BENCH_obs.txt as
+# the ISSUE 7 zero-overhead acceptance artifact.
+fault-bench:
+	{ \
+	  echo "Fault-injection site overhead (ISSUE 7 acceptance check)"; \
+	  echo "========================================================"; \
+	  echo; \
+	  echo "Regenerate with: make fault-bench"; \
+	  echo "HitDisabled is the production path: no injector registered,"; \
+	  echo "fault.Hit is one atomic load + nil check. HitEnabledNoMatch"; \
+	  echo "is a registered script whose rules target a different point."; \
+	  echo; \
+	  $(GO) test -run '^$$' -bench 'HitDisabled|HitEnabledNoMatch' -count 3 -benchmem ./internal/fault/; \
+	} | tee BENCH_fault.txt
+
 # Run the E7 blow-up experiment with tracing on, leaving the JSON
 # evaluation trace (span tree + metrics) in trace_e7.json — the same
 # artifact the CI trace job uploads.
@@ -90,4 +121,4 @@ lint:
 	$(GO) run ./cmd/relquerylint ./...
 
 # Everything the CI workflow gates on, runnable locally before a push.
-ci: build fmt lint test race bench
+ci: build fmt lint test race stress bench

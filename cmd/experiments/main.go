@@ -17,6 +17,7 @@ import (
 	"strings"
 
 	"relquery/internal/core"
+	"relquery/internal/governor"
 )
 
 func main() {
@@ -35,8 +36,14 @@ func run(args []string) error {
 		list    = fs.Bool("list", false, "list experiments and exit")
 		catalog = fs.Bool("catalog", false, "print the paper's complexity catalog and exit")
 		trace   = fs.String("trace", "", "write a JSON evaluation trace from tracing-aware experiments (E7) to this file")
+		timeout = fs.String("timeout", "", "wall-clock deadline per governed evaluation (duration or seconds; empty or 0 = none)")
+		maxRows = fs.String("max-rows", "", "row budget per governed evaluation (optional k/m/g suffix; 0 = unlimited)")
 	)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	limits, err := governor.ParseLimits(*timeout, *maxRows, 0, 0)
+	if err != nil {
 		return err
 	}
 	if *list {
@@ -59,7 +66,7 @@ func run(args []string) error {
 			ids = append(ids, strings.TrimSpace(id))
 		}
 	}
-	cfg := &core.Config{Out: os.Stdout, Seed: *seed, Quick: *quick}
+	cfg := &core.Config{Out: os.Stdout, Seed: *seed, Quick: *quick, Limits: limits}
 	if *trace != "" {
 		f, err := os.Create(*trace)
 		if err != nil {

@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -20,6 +21,7 @@ import (
 	"strings"
 
 	"relquery/internal/algebra"
+	"relquery/internal/governor"
 	"relquery/internal/join"
 	"relquery/internal/obs"
 	"relquery/internal/relation"
@@ -54,6 +56,10 @@ func run(args []string) error {
 		metrics   = fs.Bool("metrics", false, "print per-evaluation metrics (tuple traffic, partitions, cache counters) to stderr")
 		pprofPre  = fs.String("pprof", "", "capture profiles around evaluation into <prefix>.cpu.pprof and <prefix>.mem.pprof")
 		contains  = fs.String("contains", "", "instead of evaluating, test whether this whitespace-separated tuple (in target-scheme order) is in the result")
+		timeout   = fs.String("timeout", "", "wall-clock deadline for the materializing engine, as a duration (250ms, 2s, 1m30s) or seconds; empty or 0 = none")
+		maxRows   = fs.String("max-rows", "", "abort when the final result exceeds this many rows (optional k/m/g suffix; 0 = unlimited)")
+		admit     = fs.Bool("admit", false, "pre-flight admission control: reject a join whose predicted peak intermediate exceeds -budget instead of running it (output-bounded strategies are always admitted)")
+		degrade   = fs.Bool("degrade", false, "graceful degradation: retry a failed wcoj/yannakakis join node once on the greedy binary path")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -93,6 +99,13 @@ func run(args []string) error {
 	if *engine == "tableau" && (*analyze || *tracePath != "" || *metrics) {
 		return usageError(fs, "-explain-analyze, -trace and -metrics require -engine materialize")
 	}
+	if *engine == "tableau" && (*timeout != "" || *maxRows != "" || *admit || *degrade) {
+		return usageError(fs, "-timeout, -max-rows, -admit and -degrade require -engine materialize")
+	}
+	limits, err := governor.ParseLimits(*timeout, *maxRows, 0, 0)
+	if err != nil {
+		return usageError(fs, "%v", err)
+	}
 	src := *query
 	if *queryFile != "" {
 		data, err := os.ReadFile(*queryFile)
@@ -128,7 +141,7 @@ func run(args []string) error {
 	}
 
 	if *explain {
-		ev := algebra.Evaluator{Algorithm: alg, Order: order, MaxIntermediate: *budget, AutoWCOJ: auto, AutoYannakakis: auto}
+		ev := algebra.Evaluator{Algorithm: alg, Order: order, MaxIntermediate: *budget, AutoWCOJ: auto, AutoYannakakis: auto, Limits: limits, Admit: *admit, Degrade: *degrade}
 		plan, err := algebra.ExplainWith(&ev, expr, db)
 		if err != nil {
 			return err
@@ -148,7 +161,10 @@ func run(args []string) error {
 			return err
 		}
 		nt := relation.NamedTuple{Scheme: target, Vals: relation.TupleOf(vals...)}
-		ok, err := tb.Member(nt, db)
+		// -timeout governs the membership search too: the valuation tree
+		// is exponential in the worst case, so it polls at node
+		// granularity like every other engine.
+		ok, err := tb.MemberGov(nt, db, governor.New(context.Background(), limits))
 		if err != nil {
 			return err
 		}
@@ -185,6 +201,9 @@ func run(args []string) error {
 			AutoWCOJ:        opts.AutoWCOJ,
 			AutoYannakakis:  opts.AutoYannakakis,
 			Collector:       collector,
+			Limits:          limits,
+			Admit:           *admit,
+			Degrade:         *degrade,
 		}
 		if opts.Parallelism > 1 && !joinFlagSet {
 			ev.Algorithm = nil
@@ -208,6 +227,14 @@ func run(args []string) error {
 			fmt.Fprintln(os.Stderr, collector.Metrics.Snapshot().String())
 		}
 		if err != nil {
+			// A governor kill still has a story to tell: render the spans
+			// executed up to the abort, error annotations included, so the
+			// user sees where the budget died.
+			if *analyze {
+				if t := governor.TraceOf(err); t != nil {
+					fmt.Print(algebra.RenderTrace(t))
+				}
+			}
 			return err
 		}
 		if *stats {

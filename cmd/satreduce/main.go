@@ -14,6 +14,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -22,6 +23,7 @@ import (
 
 	"relquery/internal/cnf"
 	"relquery/internal/core"
+	"relquery/internal/governor"
 	"relquery/internal/qbf"
 	"relquery/internal/reduction"
 	"relquery/internal/relation"
@@ -44,9 +46,20 @@ func run(args []string) error {
 		decide  = fs.String("decide", "", "decide through the query engine: sat, unsat or count")
 		check   = fs.Bool("check", false, "cross-check the query answer against the direct solver")
 		forall  = fs.String("forall", "", "comma-separated universal variables: decide the Q-3SAT sentence ∀X ∃rest G via Theorem 4")
+		timeout = fs.String("timeout", "", "wall-clock deadline for the decision searches (duration like 250ms, 2s, or seconds; empty or 0 = none)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	d, err := governor.ParseTimeout(*timeout)
+	if err != nil {
+		return err
+	}
+	ctx := context.Background()
+	if d > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, d)
+		defer cancel()
 	}
 	g, err := loadFormula(*cnfPath, *formula)
 	if err != nil {
@@ -66,7 +79,7 @@ func run(args []string) error {
 			return err
 		}
 		inst := &qbf.Instance{G: normalized, Universal: universal}
-		res, err := core.Q3SATViaQueryComparison(inst)
+		res, err := core.Q3SATViaQueryComparisonContext(ctx, inst)
 		if err != nil {
 			return err
 		}
@@ -102,33 +115,33 @@ func run(args []string) error {
 	switch *decide {
 	case "":
 	case "sat":
-		res, err := core.SATViaMembership(normalized)
+		res, err := core.SATViaMembershipContext(ctx, normalized)
 		if err != nil {
 			return err
 		}
 		fmt.Printf("satisfiable(query route): %v   [%s]\n", res.Answer, res.Route)
 		if *check {
-			direct, _, err := sat.Satisfiable(normalized)
+			direct, _, err := sat.SatisfiableContext(ctx, normalized)
 			if err != nil {
 				return err
 			}
 			return report(res.Answer == direct, fmt.Sprintf("dpll says %v", direct))
 		}
 	case "unsat":
-		res, err := core.UNSATViaFixpoint(normalized)
+		res, err := core.UNSATViaFixpointContext(ctx, normalized)
 		if err != nil {
 			return err
 		}
 		fmt.Printf("unsatisfiable(query route): %v   [%s]\n", res.Answer, res.Route)
 		if *check {
-			direct, _, err := sat.Satisfiable(normalized)
+			direct, _, err := sat.SatisfiableContext(ctx, normalized)
 			if err != nil {
 				return err
 			}
 			return report(res.Answer == !direct, fmt.Sprintf("dpll says satisfiable=%v", direct))
 		}
 	case "count":
-		n, err := core.CountModelsViaQuery(normalized)
+		n, err := core.CountModelsViaQueryContext(ctx, normalized)
 		if err != nil {
 			return err
 		}

@@ -1,9 +1,12 @@
 package algebra
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
+	"relquery/internal/fault"
+	"relquery/internal/governor"
 	"relquery/internal/join"
 	"relquery/internal/obs"
 	"relquery/internal/relation"
@@ -31,12 +34,28 @@ type EvalOptions struct {
 	// Collector, when non-nil, traces the evaluation (see
 	// Evaluator.Collector).
 	Collector *obs.Collector
+	// Limits bounds the evaluation — deadline, row budgets, memory model
+	// (see Evaluator.Limits). The zero Limits is unlimited.
+	Limits governor.Limits
+	// Admit turns on pre-flight admission control (see Evaluator.Admit).
+	Admit bool
+	// Degrade turns on graceful degradation (see Evaluator.Degrade).
+	Degrade bool
 }
 
 // NewEvaluator returns an evaluator configured by the options, with
 // default join algorithm and order.
 func (o EvalOptions) NewEvaluator() *Evaluator {
-	return &Evaluator{Parallelism: o.Parallelism, Cache: o.Cache, AutoWCOJ: o.AutoWCOJ, AutoYannakakis: o.AutoYannakakis, Collector: o.Collector}
+	return &Evaluator{
+		Parallelism:    o.Parallelism,
+		Cache:          o.Cache,
+		AutoWCOJ:       o.AutoWCOJ,
+		AutoYannakakis: o.AutoYannakakis,
+		Collector:      o.Collector,
+		Limits:         o.Limits,
+		Admit:          o.Admit,
+		Degrade:        o.Degrade,
+	}
 }
 
 // Evaluator materializes project–join expressions against a database. The
@@ -50,7 +69,38 @@ type Evaluator struct {
 	// MaxIntermediate, when positive, aborts evaluation with
 	// ErrBudgetExceeded as soon as any intermediate relation exceeds that
 	// many tuples. It is the guard rail for exponential blow-up.
+	//
+	// The field predates Limits and is folded into
+	// Limits.MaxIntermediateRows (the tighter of the two wins); new code
+	// should set Limits directly.
 	MaxIntermediate int
+	// Limits bounds the evaluation with the resource governor: a
+	// wall-clock deadline, a final-result row cap, the intermediate-row
+	// budget and an estimated-memory budget. Every join strategy checks
+	// the governor cooperatively at tuple-batch granularity, so
+	// violations abort mid-join with a typed sentinel (governor.ErrDeadline,
+	// ErrRowBudget, ErrMemBudget, ErrCanceled) rather than after
+	// materializing. The zero Limits (with a background context) keeps the
+	// engine on its ungoverned zero-overhead path.
+	Limits governor.Limits
+	// Admit, when true, turns on pre-flight admission control: before a
+	// join node runs on the greedy binary planner, its predicted peak
+	// intermediate (the larger of the System R estimate and the
+	// worst-case greedy AGM peak) is compared against the
+	// intermediate-row budget, and the node is rejected with
+	// governor.ErrAdmission instead of being killed mid-flight. Join
+	// nodes routed to the output-bounded strategies (wcoj, yannakakis)
+	// are always admitted — the row budget still guards them during
+	// execution. False (the default) is the override: mis-predicted
+	// queries run and the mid-flight checkpoints catch real violations.
+	Admit bool
+	// Degrade, when true, retries a join node once on the greedy binary
+	// path (hash join, greedy order) when its wcoj or yannakakis strategy
+	// fails with an engine error or a recovered panic. Governor
+	// violations never degrade — retrying after a deadline or budget kill
+	// on a strategy with *weaker* guarantees would only dig deeper. Each
+	// retry is recorded in the degraded_evals metric and marks the span.
+	Degrade bool
 	// AutoWCOJ, when true, lets each n-ary join node of three or more
 	// inputs switch to the worst-case-optimal generic join (join.Generic)
 	// when the greedy binary planner's estimated peak intermediate
@@ -111,8 +161,10 @@ type Evaluator struct {
 }
 
 // ErrBudgetExceeded is returned (wrapped) when evaluation exceeds the
-// Evaluator's MaxIntermediate budget.
-var ErrBudgetExceeded = fmt.Errorf("algebra: intermediate result exceeds evaluation budget")
+// Evaluator's intermediate-row budget. It is the governor's row-budget
+// sentinel under its historical algebra name, so errors.Is works with
+// either spelling; match with errors.Is, never ==.
+var ErrBudgetExceeded = governor.ErrRowBudget
 
 // AlgorithmName names the binary-join algorithm the evaluator will
 // actually use, resolving the nil default ("hash", or "parallel" when
@@ -129,22 +181,77 @@ func (ev *Evaluator) algorithm() join.Algorithm {
 	return join.Hash{}
 }
 
-func (ev *Evaluator) check(r *relation.Relation) error {
-	if ev.MaxIntermediate > 0 && r.Len() > ev.MaxIntermediate {
-		return fmt.Errorf("%w: %d tuples > budget %d", ErrBudgetExceeded, r.Len(), ev.MaxIntermediate)
+// limits resolves the evaluation's effective limits, folding the legacy
+// MaxIntermediate field into the governor's intermediate-row budget (the
+// tighter of the two wins).
+func (ev *Evaluator) limits() governor.Limits {
+	l := ev.Limits
+	if ev.MaxIntermediate > 0 && (l.MaxIntermediateRows == 0 || ev.MaxIntermediate < l.MaxIntermediateRows) {
+		l.MaxIntermediateRows = ev.MaxIntermediate
 	}
-	return nil
+	return l
+}
+
+// observeGoverned enforces the governor's row and memory budgets against
+// one materialized relation.
+func observeGoverned(gov *governor.Governor, r *relation.Relation) error {
+	if gov == nil {
+		return nil
+	}
+	if err := gov.CheckRows(r.Len()); err != nil {
+		return err
+	}
+	return gov.ChargeBytes(relationBytes(r))
+}
+
+// relationBytes is the governor's memory model for one materialized
+// relation: a coarse per-value estimate (string header + small payload)
+// plus per-tuple overhead. Deliberately simple and deterministic — the
+// budget bounds an estimate of cumulative materialization, not RSS.
+func relationBytes(r *relation.Relation) int64 {
+	const bytesPerValue, bytesPerTuple = 24, 48
+	return int64(r.Len()) * int64(r.Scheme().Len()*bytesPerValue+bytesPerTuple)
 }
 
 // Eval computes e(db). Operand references are checked against the
 // database: the named relation must exist and its scheme must be set-equal
 // to the operand's declared scheme.
 func (ev *Evaluator) Eval(e Expr, db relation.Database) (*relation.Relation, error) {
+	return ev.EvalContext(context.Background(), e, db)
+}
+
+// EvalContext is Eval under a context and the evaluator's Limits: the
+// governor carries both through every join strategy, which check it
+// cooperatively at tuple-batch granularity. Cancellation, deadlines and
+// budget violations surface as errors.Is-able governor sentinels; when a
+// collector is attached, the error also carries the partial span tree
+// (governor.TraceOf) so EXPLAIN ANALYZE can render where the budget
+// died. A background context with zero Limits keeps the whole governance
+// layer on its nil fast path.
+func (ev *Evaluator) EvalContext(ctx context.Context, e Expr, db relation.Database) (*relation.Relation, error) {
+	gov := governor.New(ctx, ev.limits())
 	var memo *memoTable
 	if ev.Cache {
 		memo = newMemoTable()
 	}
-	return ev.eval(e, db, memo, ev.newSpan(nil, e))
+	r, err := ev.eval(e, db, memo, ev.newSpan(nil, e), gov)
+	if err == nil {
+		err = gov.CheckOutput(r.Len())
+	}
+	if err != nil {
+		return nil, ev.violation(err)
+	}
+	return r, nil
+}
+
+// violation annotates a governor violation with the partial span tree
+// captured at the time of death. Non-violations and collector-less
+// evaluations pass through unchanged, as do errors already annotated.
+func (ev *Evaluator) violation(err error) error {
+	if ev.Collector == nil || !governor.Violated(err) || governor.TraceOf(err) != nil {
+		return err
+	}
+	return &governor.Violation{Err: err, Trace: ev.Collector.Trace()}
 }
 
 // newSpan opens the span for node e under parent (a root span when parent
@@ -183,26 +290,33 @@ func spanOp(e Expr) string {
 // eval computes one node, recording its span (sp may be nil: tracing
 // off). A node served from the per-call memo or the shared cache gets a
 // span with cache status "hit" and no children — its subtree was not
-// executed.
-func (ev *Evaluator) eval(e Expr, db relation.Database, memo *memoTable, sp *obs.Span) (*relation.Relation, error) {
+// executed. Every node is a governor checkpoint, so cancellation reaches
+// even join-free expressions; only *successful* node results enter the
+// caches (both cache layers skip storing errors), so an aborted
+// evaluation can never poison a cache with a partial relation.
+func (ev *Evaluator) eval(e Expr, db relation.Database, memo *memoTable, sp *obs.Span, gov *governor.Governor) (*relation.Relation, error) {
 	sp.Begin()
+	fault.Hit(fault.EvalNode)
+	if err := gov.Check(); err != nil {
+		return ev.finishSpan(sp, "", nil, err)
+	}
 	// Operands are cheap lookups; only memoize composite nodes.
 	if _, isOp := e.(*Operand); isOp || (memo == nil && ev.SharedCache == nil) {
-		r, err := ev.evalNode(e, db, memo, sp)
+		r, err := ev.evalNode(e, db, memo, sp, gov)
 		return ev.finishSpan(sp, "", r, err)
 	}
 	cacheStatus := obs.CacheMiss
 	compute := func() (*relation.Relation, error) {
 		if ev.SharedCache != nil {
 			r, hit, err := ev.SharedCache.do(e, db, func() (*relation.Relation, error) {
-				return ev.evalNode(e, db, memo, sp)
+				return ev.evalNode(e, db, memo, sp, gov)
 			})
 			if hit {
 				cacheStatus = obs.CacheHit
 			}
 			return r, err
 		}
-		return ev.evalNode(e, db, memo, sp)
+		return ev.evalNode(e, db, memo, sp, gov)
 	}
 	var r *relation.Relation
 	var err error
@@ -241,7 +355,7 @@ func (ev *Evaluator) finishSpan(sp *obs.Span, cacheStatus string, r *relation.Re
 	return r, nil
 }
 
-func (ev *Evaluator) evalNode(e Expr, db relation.Database, memo *memoTable, sp *obs.Span) (*relation.Relation, error) {
+func (ev *Evaluator) evalNode(e Expr, db relation.Database, memo *memoTable, sp *obs.Span, gov *governor.Governor) (*relation.Relation, error) {
 	switch x := e.(type) {
 	case *Operand:
 		r, err := db.Get(x.Name())
@@ -255,7 +369,7 @@ func (ev *Evaluator) evalNode(e Expr, db relation.Database, memo *memoTable, sp 
 		return r, nil
 
 	case *Project:
-		child, err := ev.eval(x.Of(), db, memo, ev.newSpan(sp, x.Of()))
+		child, err := ev.eval(x.Of(), db, memo, ev.newSpan(sp, x.Of()), gov)
 		if err != nil {
 			return nil, err
 		}
@@ -267,17 +381,17 @@ func (ev *Evaluator) evalNode(e Expr, db relation.Database, memo *memoTable, sp 
 			return nil, err
 		}
 		ev.Collector.M().ObserveIntermediate(out.Len())
-		if err := ev.check(out); err != nil {
+		if err := observeGoverned(gov, out); err != nil {
 			return nil, err
 		}
 		return out, nil
 
 	case *Join:
-		args, err := ev.evalArgs(x.Args(), db, memo, sp)
+		args, err := ev.evalArgs(x.Args(), db, memo, sp, gov)
 		if err != nil {
 			return nil, err
 		}
-		out, err := ev.multi(args, sp)
+		out, err := ev.multi(args, sp, gov)
 		if err != nil {
 			return nil, err
 		}
@@ -294,11 +408,11 @@ func (ev *Evaluator) evalNode(e Expr, db relation.Database, memo *memoTable, sp 
 // their own pool, so total goroutines can exceed Parallelism briefly,
 // but every worker makes progress (the memo's waiting is well-founded on
 // the expression tree) so there is no deadlock.
-func (ev *Evaluator) evalArgs(exprs []Expr, db relation.Database, memo *memoTable, sp *obs.Span) ([]*relation.Relation, error) {
+func (ev *Evaluator) evalArgs(exprs []Expr, db relation.Database, memo *memoTable, sp *obs.Span, gov *governor.Governor) ([]*relation.Relation, error) {
 	args := make([]*relation.Relation, len(exprs))
 	if ev.Parallelism <= 1 || len(exprs) < 2 {
 		for i, a := range exprs {
-			r, err := ev.eval(a, db, memo, ev.newSpan(sp, a))
+			r, err := ev.eval(a, db, memo, ev.newSpan(sp, a), gov)
 			if err != nil {
 				return nil, err
 			}
@@ -322,7 +436,7 @@ func (ev *Evaluator) evalArgs(exprs []Expr, db relation.Database, memo *memoTabl
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			args[i], errs[i] = ev.eval(a, db, memo, spans[i])
+			args[i], errs[i] = ev.eval(a, db, memo, spans[i], gov)
 		}(i, a)
 	}
 	wg.Wait()
@@ -334,9 +448,9 @@ func (ev *Evaluator) evalArgs(exprs []Expr, db relation.Database, memo *memoTabl
 	return args, nil
 }
 
-// multi joins args, aborting mid-plan as soon as any binary join result
-// exceeds the budget.
-func (ev *Evaluator) multi(args []*relation.Relation, sp *obs.Span) (*relation.Relation, error) {
+// multi joins args, aborting mid-plan — and, under a governor, mid-join —
+// as soon as any checkpoint trips.
+func (ev *Evaluator) multi(args []*relation.Relation, sp *obs.Span, gov *governor.Governor) (*relation.Relation, error) {
 	if sp != nil {
 		ins := make([]int, len(args))
 		for i, a := range args {
@@ -362,6 +476,11 @@ func (ev *Evaluator) multi(args []*relation.Relation, sp *obs.Span) (*relation.R
 			m.ObserveIntermediate(args[0].Len())
 		}
 	}
+	if gov != nil {
+		if ga, ok := alg.(join.Governed); ok {
+			alg = ga.WithGovernor(gov)
+		}
+	}
 	if len(args) > 1 {
 		y, forcedY := alg.(join.Yannakakis)
 		if forcedY || (ev.AutoYannakakis && len(args) > 2) {
@@ -371,9 +490,9 @@ func (ev *Evaluator) multi(args []*relation.Relation, sp *obs.Span) (*relation.R
 			// two edges are trivially acyclic.
 			if join.Acyclic(join.SchemesOf(args)) {
 				if !forcedY {
-					y = join.Yannakakis{Metrics: ev.Collector.M()}
+					y = join.Yannakakis{Metrics: ev.Collector.M(), Gov: gov}
 				}
-				return ev.multiYannakakis(y, args, sp)
+				return ev.multiYannakakis(y, args, sp, gov)
 			}
 			// Cyclic: record the verdict and fall through — to the AGM
 			// blow-up check under auto, or (forced) to the binary planner
@@ -381,7 +500,7 @@ func (ev *Evaluator) multi(args []*relation.Relation, sp *obs.Span) (*relation.R
 			sp.SetStructure(obs.StructureCyclic)
 		}
 		if g, forced := alg.(join.Generic); forced {
-			return ev.multiGeneric(g, args, sp)
+			return ev.multiGeneric(g, args, sp, gov)
 		}
 		if ev.AutoWCOJ && len(args) > 2 {
 			// Binary joins cannot exceed their own AGM bound, so only
@@ -394,9 +513,28 @@ func (ev *Evaluator) multi(args []*relation.Relation, sp *obs.Span) (*relation.R
 			if bound := join.AGMBoundOf(args); bound > 0 {
 				peak := max(join.PredictedPeakGreedy(args), join.WorstCasePeakGreedy(args))
 				if peak > bound {
-					return ev.multiGeneric(join.Generic{Metrics: ev.Collector.M()}, args, sp)
+					return ev.multiGeneric(join.Generic{Metrics: ev.Collector.M(), Gov: gov}, args, sp, gov)
 				}
 			}
+		}
+	}
+	return ev.multiBinary(args, sp, gov, alg, ev.Order)
+}
+
+// multiBinary runs the binary-join planner tail of multi: the admission
+// gate, span annotation, per-join governance, and the plan itself, with
+// strategy panics recovered to errors. It is also the graceful-degradation
+// retry target.
+func (ev *Evaluator) multiBinary(args []*relation.Relation, sp *obs.Span, gov *governor.Governor, alg join.Algorithm, order join.Order) (*relation.Relation, error) {
+	if ev.Admit && len(args) > 1 {
+		// Pre-flight admission: reject before any join work when the
+		// binary planner's predicted peak intermediate already exceeds
+		// the budget. The output-bounded strategies never reach here —
+		// their peak is capped by their own output, so they are admitted
+		// and guarded mid-flight by the row budget instead.
+		peak := max(join.PredictedPeakGreedy(args), join.WorstCasePeakGreedy(args))
+		if err := gov.Admit(peak, 0); err != nil {
+			return nil, err
 		}
 	}
 	if sp != nil {
@@ -414,30 +552,82 @@ func (ev *Evaluator) multi(args []*relation.Relation, sp *obs.Span) (*relation.R
 		// intermediate is recorded even when it aborts evaluation.
 		alg = spanObserver{inner: alg, sp: sp}
 	}
-	if ev.MaxIntermediate > 0 {
-		alg = budgetAlgorithm{inner: alg, max: ev.MaxIntermediate}
+	if gov != nil {
+		alg = governedAlgorithm{inner: alg, gov: gov}
 	}
-	return join.Multi(args, alg, ev.Order, nil)
+	return safeJoin("binary join plan", func() (*relation.Relation, error) {
+		return join.Multi(args, alg, order, nil)
+	})
+}
+
+// safeJoin runs one join strategy with panic recovery: a crash inside a
+// strategy (or injected by the fault harness) surfaces as an error —
+// preserving error payloads for errors.As — instead of killing the
+// process.
+func safeJoin(what string, fn func() (*relation.Relation, error)) (out *relation.Relation, err error) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			if e, ok := rec.(error); ok {
+				err = fmt.Errorf("algebra: %s panicked: %w", what, e)
+			} else {
+				err = fmt.Errorf("algebra: %s panicked: %v", what, rec)
+			}
+			out = nil
+		}
+	}()
+	return fn()
+}
+
+// degrade is the graceful-degradation ladder: when a wcoj or yannakakis
+// strategy fails with a genuine engine error (never a governor
+// violation — retrying after a deadline or budget kill would only dig
+// deeper), and the evaluator opts in via Degrade, the node is retried
+// once on the greedy binary path with the default hash join. The retry
+// is recorded in the degraded_evals metric and on the span; its own
+// failure (including a budget kill of the greedier plan) propagates.
+func (ev *Evaluator) degrade(cause error, args []*relation.Relation, sp *obs.Span, gov *governor.Governor) (*relation.Relation, error, bool) {
+	if !ev.Degrade || governor.Violated(cause) {
+		return nil, nil, false
+	}
+	ev.Collector.M().Degraded()
+	sp.SetDegraded()
+	var alg join.Algorithm = join.Hash{Metrics: ev.Collector.M(), Gov: gov}
+	out, err := ev.multiBinary(args, sp, gov, alg, join.Greedy)
+	if err != nil {
+		return nil, fmt.Errorf("algebra: degraded retry failed: %w (original failure: %w)", err, cause), true
+	}
+	return out, nil, true
 }
 
 // multiGeneric evaluates an n-ary join node with the worst-case-optimal
 // generic join: one attribute-at-a-time pass, no binary intermediates, so
 // the node's peak materialization is its own output — by construction at
-// most the AGM bound the span records.
-func (ev *Evaluator) multiGeneric(g join.Generic, args []*relation.Relation, sp *obs.Span) (*relation.Relation, error) {
+// most the AGM bound the span records. A strategy failure (engine error
+// or recovered panic) degrades to the greedy binary path when the
+// evaluator opts in.
+func (ev *Evaluator) multiGeneric(g join.Generic, args []*relation.Relation, sp *obs.Span, gov *governor.Governor) (*relation.Relation, error) {
 	if sp != nil {
 		sp.SetAGMBound(join.AGMBoundOf(args))
 		sp.SetAlgorithm(g.Name(), 0)
 	}
-	out, gs, err := g.JoinAllStats(args)
+	var gs join.GenericStats
+	out, err := safeJoin("wcoj strategy", func() (*relation.Relation, error) {
+		var err error
+		out, stats, err := g.JoinAllStats(args)
+		gs = stats
+		return out, err
+	})
 	if err != nil {
+		if dout, derr, degraded := ev.degrade(err, args, sp, gov); degraded {
+			return dout, derr
+		}
 		return nil, err
 	}
 	if sp != nil {
 		sp.ObservePeak(out.Len())
 		sp.SetWCOJ(gs.Candidates, gs.Intersections)
 	}
-	if err := ev.check(out); err != nil {
+	if err := observeGoverned(gov, out); err != nil {
 		return nil, err
 	}
 	return out, nil
@@ -449,7 +639,7 @@ func (ev *Evaluator) multiGeneric(g join.Generic, args []*relation.Relation, sp 
 // materializes — each semijoin result and each tree join — is folded into
 // the span's MaxIntermediate and checked against the budget, so the
 // output-boundedness claim is visible in (and enforced on) the trace.
-func (ev *Evaluator) multiYannakakis(y join.Yannakakis, args []*relation.Relation, sp *obs.Span) (*relation.Relation, error) {
+func (ev *Evaluator) multiYannakakis(y join.Yannakakis, args []*relation.Relation, sp *obs.Span, gov *governor.Governor) (*relation.Relation, error) {
 	if sp != nil {
 		sp.SetAGMBound(join.AGMBoundOf(args))
 		sp.SetAlgorithm(y.Name(), 0)
@@ -457,10 +647,19 @@ func (ev *Evaluator) multiYannakakis(y join.Yannakakis, args []*relation.Relatio
 	}
 	observe := func(r *relation.Relation) error {
 		sp.ObservePeak(r.Len())
-		return ev.check(r)
+		return observeGoverned(gov, r)
 	}
-	out, ys, err := y.JoinAllStats(args, observe)
+	var ys join.YannakakisStats
+	out, err := safeJoin("yannakakis strategy", func() (*relation.Relation, error) {
+		var err error
+		out, stats, err := y.JoinAllStats(args, observe)
+		ys = stats
+		return out, err
+	})
 	if err != nil {
+		if dout, derr, degraded := ev.degrade(err, args, sp, gov); degraded {
+			return dout, derr
+		}
 		return nil, err
 	}
 	if sp != nil {
@@ -488,22 +687,25 @@ func (s spanObserver) Join(l, r *relation.Relation) (*relation.Relation, error) 
 	return out, nil
 }
 
-// budgetAlgorithm wraps an Algorithm and fails when any join result
-// exceeds the budget.
-type budgetAlgorithm struct {
+// governedAlgorithm wraps an Algorithm and enforces the governor's row
+// and memory budgets on every binary-join result. The join algorithms
+// also check the row budget mid-join at batch granularity; this wrapper
+// is the authoritative post-join check (the batch checks can trail the
+// last partial batch) and the memory-accounting point.
+type governedAlgorithm struct {
 	inner join.Algorithm
-	max   int
+	gov   *governor.Governor
 }
 
-func (b budgetAlgorithm) Name() string { return b.inner.Name() }
+func (ga governedAlgorithm) Name() string { return ga.inner.Name() }
 
-func (b budgetAlgorithm) Join(l, r *relation.Relation) (*relation.Relation, error) {
-	out, err := b.inner.Join(l, r)
+func (ga governedAlgorithm) Join(l, r *relation.Relation) (*relation.Relation, error) {
+	out, err := ga.inner.Join(l, r)
 	if err != nil {
 		return nil, err
 	}
-	if out.Len() > b.max {
-		return nil, fmt.Errorf("%w: %d tuples > budget %d", ErrBudgetExceeded, out.Len(), b.max)
+	if err := observeGoverned(ga.gov, out); err != nil {
+		return nil, err
 	}
 	return out, nil
 }

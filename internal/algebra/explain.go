@@ -1,10 +1,12 @@
 package algebra
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
 
+	"relquery/internal/governor"
 	"relquery/internal/obs"
 	"relquery/internal/relation"
 )
@@ -99,13 +101,32 @@ func ExplainAnalyze(e Expr, db relation.Database) (string, error) {
 // ExplainAnalyzeWith is ExplainAnalyze under a caller-configured
 // evaluator (budget, join algorithm, order, parallelism, caching). The
 // evaluator's Collector is replaced for the duration of the call.
+//
+// When evaluation dies on a resource-governor violation (deadline, row
+// or memory budget, cancellation), the error is returned together with
+// the partial span tree executed up to the abort: the span carrying the
+// violation is annotated error=..., so the rendering shows exactly
+// where the budget died. Callers distinguish the two outcomes by the
+// error value — a non-empty string with a non-nil error is a partial
+// trace, not a completed plan.
 func ExplainAnalyzeWith(ev *Evaluator, e Expr, db relation.Database) (string, error) {
+	return ExplainAnalyzeContext(context.Background(), ev, e, db)
+}
+
+// ExplainAnalyzeContext is ExplainAnalyzeWith under a caller context, so
+// EXPLAIN ANALYZE itself honors deadlines and cancellation. On a
+// governor violation it returns the partial span tree alongside the
+// error (see ExplainAnalyzeWith).
+func ExplainAnalyzeContext(ctx context.Context, ev *Evaluator, e Expr, db relation.Database) (string, error) {
 	saved := ev.Collector
 	c := &obs.Collector{}
 	ev.Collector = c
-	_, err := ev.Eval(e, db)
+	_, err := ev.EvalContext(ctx, e, db)
 	ev.Collector = saved
 	if err != nil {
+		if t := governor.TraceOf(err); t != nil {
+			return RenderTrace(t), err
+		}
 		return "", err
 	}
 	return RenderTrace(c.Trace()), nil
@@ -158,6 +179,9 @@ func renderSpan(b *strings.Builder, sp *obs.Span, prefix, childPrefix string) {
 	}
 	if sp.Cache != "" {
 		fmt.Fprintf(b, " cache=%s", sp.Cache)
+	}
+	if sp.Degraded {
+		b.WriteString(" degraded")
 	}
 	if sp.Err != "" {
 		fmt.Fprintf(b, " error=%q", sp.Err)

@@ -8,5 +8,5 @@ import (
 )
 
 func TestErrWrapCheck(t *testing.T) {
-	framework.RunFixtures(t, "testdata", errwrapcheck.Analyzer, "a")
+	framework.RunFixtures(t, "testdata", errwrapcheck.Analyzer, "a", "govsent")
 }

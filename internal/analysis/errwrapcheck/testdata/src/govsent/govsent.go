@@ -1,0 +1,59 @@
+// Fixture for errwrapcheck against the real governor sentinels: every
+// violation arrives wrapped in a *governor.Violation (and often a
+// further fmt.Errorf layer), so == / != / switch comparisons against
+// ErrDeadline, ErrRowBudget, ErrMemBudget, ErrCanceled or ErrAdmission
+// never match — they must be errors.Is, and rewrapping must use %w.
+package govsent
+
+import (
+	"errors"
+	"fmt"
+
+	"relquery/internal/governor"
+)
+
+func misclassify(err error) string {
+	if err == governor.ErrDeadline { // want `governor\.ErrDeadline compared with ==`
+		return "deadline"
+	}
+	if governor.ErrRowBudget != err { // want `governor\.ErrRowBudget compared with !=`
+		return "not-rows"
+	}
+	switch err {
+	case governor.ErrMemBudget: // want `switch case compares governor\.ErrMemBudget with ==`
+		return "memory"
+	case governor.ErrAdmission: // want `switch case compares governor\.ErrAdmission with ==`
+		return "admission"
+	}
+	return "unknown"
+}
+
+func severChain(err error) error {
+	return fmt.Errorf("query killed: %v", err) // want `fmt\.Errorf formats an error value without %w`
+}
+
+// classify is the sanctioned pattern: errors.Is sees through the
+// Violation wrapper, and %w keeps the chain intact for callers.
+func classify(err error) (string, error) {
+	switch {
+	case errors.Is(err, governor.ErrDeadline):
+		return "deadline", fmt.Errorf("query killed: %w", err)
+	case errors.Is(err, governor.ErrCanceled):
+		return "canceled", fmt.Errorf("query killed: %w", err)
+	case errors.Is(err, governor.ErrRowBudget), errors.Is(err, governor.ErrMemBudget):
+		return "budget", fmt.Errorf("query killed: %w", err)
+	case errors.Is(err, governor.ErrAdmission):
+		return "rejected", fmt.Errorf("not started: %w", err)
+	}
+	return "", err
+}
+
+// inspect shows that reading the violation payload is fine — only the
+// sentinel comparisons and chain-severing rewraps are flagged.
+func inspect(err error) bool {
+	var v *governor.Violation
+	if errors.As(err, &v) {
+		return governor.Violated(err) && governor.TraceOf(err) != nil
+	}
+	return false
+}

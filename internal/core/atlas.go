@@ -9,6 +9,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"relquery/internal/algebra"
@@ -49,6 +50,13 @@ func normalize(g *cnf.Formula) (*cnf.Formula, error) {
 // Yannakakis' NP-complete membership problem: G is satisfiable iff
 // u_G ∈ π_Y(φ_G(R_G)).
 func SATViaMembership(g *cnf.Formula) (Result, error) {
+	return SATViaMembershipContext(context.Background(), g)
+}
+
+// SATViaMembershipContext is SATViaMembership under a context: the NP
+// valuation search polls the deadline/cancellation at node granularity
+// and aborts with the governor sentinels.
+func SATViaMembershipContext(ctx context.Context, g *cnf.Formula) (Result, error) {
 	g, err := normalize(g)
 	if err != nil {
 		return Result{}, err
@@ -65,7 +73,7 @@ func SATViaMembership(g *cnf.Formula) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	ok, err := decide.Member(c.UG(), py, c.Database())
+	ok, err := decide.MemberBudget(c.UG(), py, c.Database(), decide.Budget{}.WithContext(ctx))
 	if err != nil {
 		return Result{}, err
 	}
@@ -77,6 +85,13 @@ func SATViaMembership(g *cnf.Formula) (Result, error) {
 // unsatisfiable iff φ_G(R_G) = R_G, i.e. R_G satisfies the join
 // dependency ∗[F, T₁, …, T_m].
 func UNSATViaFixpoint(g *cnf.Formula) (Result, error) {
+	return UNSATViaFixpointContext(context.Background(), g)
+}
+
+// UNSATViaFixpointContext is UNSATViaFixpoint under a context: the
+// streaming decision honors ctx's deadline and cancellation via the
+// resource governor, surfacing governor.ErrDeadline / ErrCanceled.
+func UNSATViaFixpointContext(ctx context.Context, g *cnf.Formula) (Result, error) {
 	g, err := normalize(g)
 	if err != nil {
 		return Result{}, err
@@ -89,7 +104,7 @@ func UNSATViaFixpoint(g *cnf.Formula) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	cmp, err := decide.ResultEquals(phi, c.Database(), c.R, decide.Budget{})
+	cmp, err := decide.ResultEquals(phi, c.Database(), c.R, decide.Budget{}.WithContext(ctx))
 	if err != nil {
 		return Result{}, err
 	}
@@ -145,6 +160,12 @@ func SATAndUNSATViaCardinality(g, gPrime *cnf.Formula) (Result, error) {
 // CountModelsViaQuery counts the satisfying assignments of g through
 // Theorem 3: a(G) = |φ_G(R_G)| − 7m − 1.
 func CountModelsViaQuery(g *cnf.Formula) (int64, error) {
+	return CountModelsViaQueryContext(context.Background(), g)
+}
+
+// CountModelsViaQueryContext is CountModelsViaQuery under a context (see
+// UNSATViaFixpointContext).
+func CountModelsViaQueryContext(ctx context.Context, g *cnf.Formula) (int64, error) {
 	g, err := normalize(g)
 	if err != nil {
 		return 0, err
@@ -157,7 +178,7 @@ func CountModelsViaQuery(g *cnf.Formula) (int64, error) {
 	if err != nil {
 		return 0, err
 	}
-	size, err := decide.Count(phi, c.Database(), decide.Budget{})
+	size, err := decide.Count(phi, c.Database(), decide.Budget{}.WithContext(ctx))
 	if err != nil {
 		return 0, err
 	}
@@ -168,6 +189,12 @@ func CountModelsViaQuery(g *cnf.Formula) (int64, error) {
 // Proposition 4 preprocessing, the sentence holds iff
 // π_X(φ₁(R′_G)) ⊆ π_X(φ₂(R′_G)) over the single fixed relation R′_G.
 func Q3SATViaQueryComparison(inst *qbf.Instance) (Result, error) {
+	return Q3SATViaQueryComparisonContext(context.Background(), inst)
+}
+
+// Q3SATViaQueryComparisonContext is Q3SATViaQueryComparison under a
+// context (see UNSATViaFixpointContext).
+func Q3SATViaQueryComparisonContext(ctx context.Context, inst *qbf.Instance) (Result, error) {
 	prepared, decided, holds, err := reduction.PrepareQ3SAT(inst)
 	if err != nil {
 		return Result{}, err
@@ -179,7 +206,7 @@ func Q3SATViaQueryComparison(inst *qbf.Instance) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	cmp, err := decide.ContainedFixedRelation(th4.Q1, th4.Q2, th4.Database(), decide.Budget{})
+	cmp, err := decide.ContainedFixedRelation(th4.Q1, th4.Q2, th4.Database(), decide.Budget{}.WithContext(ctx))
 	if err != nil {
 		return Result{}, err
 	}

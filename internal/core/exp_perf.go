@@ -9,6 +9,7 @@ import (
 	"relquery/internal/algebra"
 	"relquery/internal/cnf"
 	"relquery/internal/deps"
+	"relquery/internal/governor"
 	"relquery/internal/join"
 	"relquery/internal/obs"
 	"relquery/internal/reduction"
@@ -60,11 +61,14 @@ func runE7(cfg *Config) error {
 		// join.Stats here.)
 		measure := func(order join.Order) (string, int, *obs.Trace) {
 			col := &obs.Collector{}
-			ev := algebra.Evaluator{Order: order, MaxIntermediate: budget, Collector: col}
+			ev := algebra.Evaluator{Order: order, MaxIntermediate: budget, Collector: col, Limits: cfg.Limits}
 			_, err := ev.Eval(phi, c.Database())
 			if err != nil {
 				if errors.Is(err, algebra.ErrBudgetExceeded) {
 					return fmt.Sprintf(">%d", budget), budget, col.Trace()
+				}
+				if errors.Is(err, governor.ErrDeadline) {
+					return "timeout", 0, col.Trace()
 				}
 				return "error", 0, col.Trace()
 			}

@@ -5,6 +5,8 @@ import (
 	"io"
 	"sort"
 	"text/tabwriter"
+
+	"relquery/internal/governor"
 )
 
 // Config parameterizes an experiment run.
@@ -21,6 +23,11 @@ type Config struct {
 	// E7, which traces its largest greedy-order evaluation. The CI
 	// workflow uploads this as an artifact next to the benchmark numbers.
 	Trace io.Writer
+	// Limits bounds the materializing evaluations of governor-aware
+	// experiments (currently E7) — a wall-clock deadline and row caps,
+	// the CLI's -timeout / -max-rows. A killed measurement is reported
+	// in the table ("timeout", ">budget") instead of failing the run.
+	Limits governor.Limits
 }
 
 // Experiment is one reproducible experiment from EXPERIMENTS.md.

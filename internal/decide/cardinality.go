@@ -84,10 +84,10 @@ func streamDistinct(phi algebra.Expr, db relation.Database, stopAt int, b Budget
 		return 0, false, err
 	}
 	seen := make(map[string]struct{})
-	bc := budgetCounter{limit: b.MaxTuples}
+	bc := budgetCounter{limit: b.MaxTuples, gov: b.Gov}
 	budgetHit := false
 	stopped := false
-	err = tb.Stream(db, func(tp relation.Tuple) bool {
+	err = tb.StreamGov(db, b.Gov, func(tp relation.Tuple) bool {
 		if !bc.tick() {
 			budgetHit = true
 			return false
@@ -104,6 +104,9 @@ func streamDistinct(phi algebra.Expr, db relation.Database, stopAt int, b Budget
 	})
 	if err != nil {
 		return 0, false, err
+	}
+	if bc.err != nil {
+		return 0, false, bc.err
 	}
 	if budgetHit {
 		return 0, false, fmt.Errorf("%w: visited %d tuples counting |φ(R)|", ErrBudget, bc.visited)

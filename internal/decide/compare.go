@@ -83,12 +83,12 @@ func containedIn(phi1 algebra.Expr, db1 relation.Database, phi2 algebra.Expr, db
 	if err != nil {
 		return Comparison{}, err
 	}
-	bc := budgetCounter{limit: b.MaxTuples}
+	bc := budgetCounter{limit: b.MaxTuples, gov: b.Gov}
 	seen := make(map[string]struct{})
 	out := Comparison{Holds: true}
 	var innerErr error
 	budgetHit := false
-	err = t1.Stream(db1, func(tp relation.Tuple) bool {
+	err = t1.StreamGov(db1, b.Gov, func(tp relation.Tuple) bool {
 		if !bc.tick() {
 			budgetHit = true
 			return false
@@ -99,7 +99,7 @@ func containedIn(phi1 algebra.Expr, db1 relation.Database, phi2 algebra.Expr, db
 		}
 		seen[key] = struct{}{}
 		nt := relation.NamedTuple{Scheme: s1, Vals: tp}
-		ok, err := t2.Member(nt, db2)
+		ok, err := t2.MemberGov(nt, db2, b.Gov)
 		if err != nil {
 			innerErr = err
 			return false
@@ -116,6 +116,9 @@ func containedIn(phi1 algebra.Expr, db1 relation.Database, phi2 algebra.Expr, db
 	if innerErr != nil {
 		return Comparison{}, innerErr
 	}
+	if bc.err != nil {
+		return Comparison{}, bc.err
+	}
 	if budgetHit {
 		return Comparison{}, errBudget("deciding containment", bc.visited)
 	}
@@ -129,7 +132,7 @@ func isEmpty(phi algebra.Expr, db relation.Database, b Budget) (bool, error) {
 		return false, err
 	}
 	empty := true
-	err = tb.Stream(db, func(relation.Tuple) bool {
+	err = tb.StreamGov(db, b.Gov, func(relation.Tuple) bool {
 		empty = false
 		return false
 	})

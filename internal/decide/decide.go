@@ -18,9 +18,11 @@
 package decide
 
 import (
+	"context"
 	"fmt"
 
 	"relquery/internal/algebra"
+	"relquery/internal/governor"
 	"relquery/internal/relation"
 	"relquery/internal/tableau"
 )
@@ -32,6 +34,21 @@ type Budget struct {
 	// distinct) result tuples a streaming search may visit before giving
 	// up with ErrBudget.
 	MaxTuples int
+	// Gov, when non-nil, is ticked on every visited tuple, so streaming
+	// searches honor the resource governor's deadline and cancellation
+	// (surfacing governor.ErrDeadline / governor.ErrCanceled) just like
+	// the materializing engines. Row and memory budgets do not apply
+	// here — streaming never materializes intermediates — so only the
+	// clock and the context are consulted.
+	Gov *governor.Governor
+}
+
+// WithContext returns the budget with a governor for ctx attached
+// (replacing any present), so callers can bound a streaming decision by
+// a deadline in one call: decide.Budget{...}.WithContext(ctx).
+func (b Budget) WithContext(ctx context.Context) Budget {
+	b.Gov = governor.New(ctx, governor.Limits{})
+	return b
 }
 
 // ErrBudget is returned (wrapped) when a procedure exceeds its budget.
@@ -40,14 +57,20 @@ var ErrBudget = fmt.Errorf("decide: search budget exceeded")
 type budgetCounter struct {
 	limit   int
 	visited int
+	gov     *governor.Governor
+	err     error // governor violation that stopped the search, if any
 }
 
 // tick admits one more visited tuple, refusing once the limit is
-// reached. The gate runs before the counter moves, so a refused tuple is
-// never counted: visited reports exactly how many tuples were examined,
-// and a search that decides on its k-th visit succeeds under
-// Budget{MaxTuples: k}.
+// reached or the governor reports a violation (latched in err). The gate
+// runs before the counter moves, so a refused tuple is never counted:
+// visited reports exactly how many tuples were examined, and a search
+// that decides on its k-th visit succeeds under Budget{MaxTuples: k}.
 func (b *budgetCounter) tick() bool {
+	if err := b.gov.Tick(); err != nil {
+		b.err = err
+		return false
+	}
 	if b.limit > 0 && b.visited >= b.limit {
 		return false
 	}
@@ -58,11 +81,19 @@ func (b *budgetCounter) tick() bool {
 // Member reports whether the named tuple belongs to φ(db) — the paper's
 // Proposition 2, in NP via tableau valuation guessing.
 func Member(nt relation.NamedTuple, phi algebra.Expr, db relation.Database) (bool, error) {
+	return MemberBudget(nt, phi, db, Budget{})
+}
+
+// MemberBudget is Member under a Budget's governor: the valuation
+// search honors the deadline and cancellation at node granularity, so a
+// hard instance aborts with governor.ErrDeadline/ErrCanceled instead of
+// searching to exhaustion.
+func MemberBudget(nt relation.NamedTuple, phi algebra.Expr, db relation.Database, b Budget) (bool, error) {
 	tb, err := tableau.New(phi)
 	if err != nil {
 		return false, err
 	}
-	return tb.Member(nt, db)
+	return tb.MemberGov(nt, db, b.Gov)
 }
 
 // Comparison is the outcome of a relation-valued comparison, carrying a
@@ -88,7 +119,7 @@ func ResultEquals(phi algebra.Expr, db relation.Database, r *relation.Relation, 
 		// Schemes differ: never equal; any tuple of either side witnesses.
 		return Comparison{Holds: false}, nil
 	}
-	sub, err := ConjecturedSubset(r, phi, db)
+	sub, err := ConjecturedSubset(r, phi, db, b)
 	if err != nil {
 		return Comparison{}, err
 	}
@@ -99,8 +130,11 @@ func ResultEquals(phi algebra.Expr, db relation.Database, r *relation.Relation, 
 }
 
 // ConjecturedSubset decides r ⊆ φ(db) (the NP half of Theorem 1; this is
-// also Yannakakis' membership problem iterated over r's tuples).
-func ConjecturedSubset(r *relation.Relation, phi algebra.Expr, db relation.Database) (Comparison, error) {
+// also Yannakakis' membership problem iterated over r's tuples). Each
+// membership search runs under the budget's governor — without that,
+// one hard tuple's exponential valuation search could never be
+// interrupted.
+func ConjecturedSubset(r *relation.Relation, phi algebra.Expr, db relation.Database, b Budget) (Comparison, error) {
 	tb, err := tableau.New(phi)
 	if err != nil {
 		return Comparison{}, err
@@ -109,7 +143,7 @@ func ConjecturedSubset(r *relation.Relation, phi algebra.Expr, db relation.Datab
 	var loopErr error
 	r.Each(func(tp relation.Tuple) bool {
 		nt := relation.NamedTuple{Scheme: r.Scheme(), Vals: tp}
-		ok, err := tb.Member(nt, db)
+		ok, err := tb.MemberGov(nt, db, b.Gov)
 		if err != nil {
 			loopErr = err
 			return false
@@ -140,10 +174,10 @@ func ResultSubset(phi algebra.Expr, db relation.Database, r *relation.Relation, 
 	if err != nil {
 		return Comparison{}, err
 	}
-	bc := budgetCounter{limit: b.MaxTuples}
+	bc := budgetCounter{limit: b.MaxTuples, gov: b.Gov}
 	out := Comparison{Holds: true}
 	budgetHit := false
-	err = tb.Stream(db, func(tp relation.Tuple) bool {
+	err = tb.StreamGov(db, b.Gov, func(tp relation.Tuple) bool {
 		if !bc.tick() {
 			budgetHit = true
 			return false
@@ -156,6 +190,9 @@ func ResultSubset(phi algebra.Expr, db relation.Database, r *relation.Relation, 
 	})
 	if err != nil {
 		return Comparison{}, err
+	}
+	if bc.err != nil {
+		return Comparison{}, bc.err
 	}
 	if budgetHit {
 		return Comparison{}, fmt.Errorf("%w: visited %d tuples deciding φ(R) ⊆ r", ErrBudget, bc.visited)

@@ -23,9 +23,9 @@ func Enumerate(phi algebra.Expr, db relation.Database, b Budget, yield func(rela
 		return err
 	}
 	seen := make(map[string]struct{})
-	bc := budgetCounter{limit: b.MaxTuples}
+	bc := budgetCounter{limit: b.MaxTuples, gov: b.Gov}
 	budgetHit := false
-	err = tb.Stream(db, func(tp relation.Tuple) bool {
+	err = tb.StreamGov(db, b.Gov, func(tp relation.Tuple) bool {
 		if !bc.tick() {
 			budgetHit = true
 			return false
@@ -39,6 +39,9 @@ func Enumerate(phi algebra.Expr, db relation.Database, b Budget, yield func(rela
 	})
 	if err != nil {
 		return err
+	}
+	if bc.err != nil {
+		return bc.err
 	}
 	if budgetHit {
 		return errBudget("enumerating φ(R)", bc.visited)

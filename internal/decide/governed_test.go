@@ -1,0 +1,110 @@
+package decide
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"relquery/internal/algebra"
+	"relquery/internal/cnf"
+	"relquery/internal/governor"
+	"relquery/internal/reduction"
+)
+
+// pigeonholeGadget builds the Lemma 1 gadget for a pigeonhole formula:
+// the membership and fixpoint searches over it are resolution-hard, so
+// they are guaranteed to outlast the governor's 256-tick poll batch —
+// the workload that exposed ungoverned valuation searches (a satreduce
+// -timeout run that never fired).
+func pigeonholeGadget(t *testing.T) (*reduction.Construction, error) {
+	t.Helper()
+	g, err := cnf.Pigeonhole(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g3, err := cnf.To3CNF(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g3, _ = cnf.Compact(g3)
+	return reduction.New(g3)
+}
+
+// TestMemberBudgetCanceledMidSearch covers the NP half: the u_G
+// membership search (SAT via Proposition 1) under a dead context must
+// abort with the typed sentinel instead of exhausting the exponential
+// valuation tree.
+func TestMemberBudgetCanceledMidSearch(t *testing.T) {
+	c, err := pigeonholeGadget(t)
+	if err != nil {
+		t.Fatal(err)
+	}
+	phi, err := c.PhiG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	py, err := algebra.NewProject(c.YScheme(), phi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	// u_G ∈ π_Y(φ_G(R_G)) is Proposition 1's SAT question; pigeonhole is
+	// unsatisfiable, so an ungoverned search would refute it only after
+	// exhausting the valuation tree.
+	if _, err := MemberBudget(c.UG(), py, c.Database(), Budget{}.WithContext(ctx)); !errors.Is(err, governor.ErrCanceled) {
+		t.Fatalf("want governor.ErrCanceled from the membership search, got %v", err)
+	}
+}
+
+// TestResultEqualsGovernedDeadline covers the fixpoint route (UNSAT via
+// φ_G(R_G) = R_G): ConjecturedSubset's per-tuple membership searches
+// run under the budget's governor, so an expired deadline kills the
+// decision with governor.ErrDeadline — previously this half was
+// entirely ungoverned and a hard instance hung forever.
+func TestResultEqualsGovernedDeadline(t *testing.T) {
+	c, err := pigeonholeGadget(t)
+	if err != nil {
+		t.Fatal(err)
+	}
+	phi, err := c.PhiG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 1)
+	defer cancel()
+	<-ctx.Done()
+	if _, err := ResultEquals(phi, c.Database(), c.R, Budget{}.WithContext(ctx)); !errors.Is(err, governor.ErrDeadline) {
+		t.Fatalf("want governor.ErrDeadline from the fixpoint decision, got %v", err)
+	}
+}
+
+// TestGovernedSearchesMatchUngoverned verifies the governed paths are
+// pure plumbing: under a live background context every decision agrees
+// with its ungoverned counterpart on the paper example's gadget.
+func TestGovernedSearchesMatchUngoverned(t *testing.T) {
+	g, err := cnf.Parse("(x1 + x2 + x3)(~x2 + x3 + ~x4)(~x3 + ~x4 + ~x5)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := reduction.New(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	phi, err := c.PhiG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := Budget{}.WithContext(context.Background())
+	want, err := ResultEquals(phi, c.Database(), c.R, Budget{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ResultEquals(phi, c.Database(), c.R, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want.Holds != got.Holds {
+		t.Fatalf("governed ResultEquals says %v, ungoverned says %v", got.Holds, want.Holds)
+	}
+}

@@ -1,0 +1,25 @@
+package fault
+
+import "time"
+
+// Seeded derives a deterministic single-rule script from a seed: the
+// fault lands on crossing 1 + (mix(seed) mod window) of point p. Matrix
+// tests sweep seeds to move the same fault around a run without
+// hand-picking crossing numbers; the same seed always produces the same
+// script, keeping failures reproducible from the seed alone.
+func Seeded(seed int64, p Point, window int64, act Action, delay time.Duration, fn func()) *Script {
+	if window < 1 {
+		window = 1
+	}
+	n := 1 + int64(mix(uint64(seed))%uint64(window))
+	return NewScript(Rule{Point: p, N: n, Act: act, Delay: delay, Func: fn})
+}
+
+// mix is splitmix64's finalizer: a cheap, stdlib-only bijective hash
+// spreading consecutive seeds across the window.
+func mix(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

@@ -1,0 +1,51 @@
+package governor
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzLimitsParse throws arbitrary flag text at the CLI limit parsers.
+// Invariants: no panic; an accepted timeout is non-negative and an
+// accepted row budget is non-negative; acceptance is trim-stable (the
+// parsers strip surrounding space themselves, so pre-trimmed input must
+// parse to the same value).
+func FuzzLimitsParse(f *testing.F) {
+	for _, seed := range []string{
+		"", "0", "2s", "250ms", "1m30s", "30", "0.5", "-1s", "nan", "1e300",
+		"3246", "10k", "2m", "1g", "-5", "10kk", "99999999999999999999", "k",
+		"bogus", " 5k ", "১০", "0x10", "+3", "1_000",
+	} {
+		f.Add(seed, seed)
+	}
+	f.Fuzz(func(t *testing.T, timeout, rows string) {
+		d, derr := ParseTimeout(timeout)
+		if derr == nil {
+			if d < 0 {
+				t.Fatalf("ParseTimeout(%q) accepted negative duration %v", timeout, d)
+			}
+			d2, err2 := ParseTimeout(strings.TrimSpace(timeout))
+			if err2 != nil || d2 != d {
+				t.Fatalf("ParseTimeout trim-instability on %q: (%v,%v) vs (%v,%v)", timeout, d, derr, d2, err2)
+			}
+		}
+		n, nerr := ParseRows(rows)
+		if nerr == nil {
+			if n < 0 {
+				t.Fatalf("ParseRows(%q) accepted negative budget %d", rows, n)
+			}
+			n2, err2 := ParseRows(strings.TrimSpace(rows))
+			if err2 != nil || n2 != n {
+				t.Fatalf("ParseRows trim-instability on %q: (%d,%v) vs (%d,%v)", rows, n, nerr, n2, err2)
+			}
+		}
+		// ParseLimits must agree with its parts.
+		l, lerr := ParseLimits(timeout, rows, 0, 0)
+		if (lerr == nil) != (derr == nil && nerr == nil) {
+			t.Fatalf("ParseLimits(%q,%q) err=%v inconsistent with parts (%v, %v)", timeout, rows, lerr, derr, nerr)
+		}
+		if lerr == nil && (l.Deadline != d || l.MaxRows != n) {
+			t.Fatalf("ParseLimits(%q,%q) = %+v, parts (%v, %d)", timeout, rows, l, d, n)
+		}
+	})
+}

@@ -1,0 +1,221 @@
+package governor
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"relquery/internal/obs"
+)
+
+func TestNilGovernorNoOps(t *testing.T) {
+	var g *Governor
+	if err := g.Tick(); err != nil {
+		t.Errorf("nil Tick = %v", err)
+	}
+	if err := g.Check(); err != nil {
+		t.Errorf("nil Check = %v", err)
+	}
+	if err := g.CheckRows(1 << 30); err != nil {
+		t.Errorf("nil CheckRows = %v", err)
+	}
+	if err := g.CheckOutput(1 << 30); err != nil {
+		t.Errorf("nil CheckOutput = %v", err)
+	}
+	if err := g.ChargeBytes(1 << 40); err != nil {
+		t.Errorf("nil ChargeBytes = %v", err)
+	}
+	if err := g.Admit(1e18, 0); err != nil {
+		t.Errorf("nil Admit = %v", err)
+	}
+	if err := g.Err(); err != nil {
+		t.Errorf("nil Err = %v", err)
+	}
+	if g.Context() == nil {
+		t.Error("nil Context() = nil, want Background")
+	}
+}
+
+func TestNewReturnsNilWhenUngoverned(t *testing.T) {
+	if g := New(context.Background(), Limits{}); g != nil {
+		t.Errorf("New(Background, zero Limits) = %v, want nil (zero-overhead path)", g)
+	}
+	if g := New(nil, Limits{}); g != nil {
+		t.Errorf("New(nil, zero Limits) = %v, want nil", g)
+	}
+	if g := New(context.Background(), Limits{MaxRows: 1}); g == nil {
+		t.Error("New with MaxRows returned nil")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	if g := New(ctx, Limits{}); g == nil {
+		t.Error("New with cancelable context returned nil")
+	}
+}
+
+func TestCancelSurfacesErrCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	g := New(ctx, Limits{})
+	if err := g.Check(); err != nil {
+		t.Fatalf("pre-cancel Check = %v", err)
+	}
+	cancel()
+	err := g.Check()
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("Check after cancel = %v, want ErrCanceled", err)
+	}
+	// Sticky: every later checkpoint reports the same violation.
+	if err2 := g.Tick(); !errors.Is(err2, ErrCanceled) {
+		t.Errorf("Tick after violation = %v, want ErrCanceled", err2)
+	}
+	if err2 := g.Err(); !errors.Is(err2, ErrCanceled) {
+		t.Errorf("Err() = %v, want ErrCanceled", err2)
+	}
+}
+
+func TestDeadlineSurfacesErrDeadline(t *testing.T) {
+	g := New(context.Background(), Limits{Deadline: time.Nanosecond})
+	time.Sleep(time.Millisecond)
+	if err := g.Check(); !errors.Is(err, ErrDeadline) {
+		t.Fatalf("Check past deadline = %v, want ErrDeadline", err)
+	}
+}
+
+func TestContextDeadlineSurfacesErrDeadline(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), time.Nanosecond)
+	defer cancel()
+	g := New(ctx, Limits{})
+	time.Sleep(time.Millisecond)
+	if err := g.Check(); !errors.Is(err, ErrDeadline) {
+		t.Fatalf("Check past ctx deadline = %v, want ErrDeadline", err)
+	}
+}
+
+func TestTickAmortizesChecks(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	g := New(ctx, Limits{})
+	cancel()
+	// The cancellation must be noticed within one batch of ticks.
+	var err error
+	for i := 0; i < CheckEvery+1; i++ {
+		if err = g.Tick(); err != nil {
+			break
+		}
+	}
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("cancellation not noticed within %d ticks: %v", CheckEvery+1, err)
+	}
+}
+
+func TestRowBudgets(t *testing.T) {
+	g := New(context.Background(), Limits{MaxIntermediateRows: 100, MaxRows: 10})
+	if err := g.CheckRows(100); err != nil {
+		t.Errorf("CheckRows(100) at budget = %v", err)
+	}
+	// CheckOutput must not be pre-poisoned: test output first on a fresh
+	// governor, then the intermediate overflow.
+	if err := g.CheckOutput(11); !errors.Is(err, ErrRowBudget) {
+		t.Errorf("CheckOutput(11) = %v, want ErrRowBudget", err)
+	}
+	g2 := New(context.Background(), Limits{MaxIntermediateRows: 100})
+	if err := g2.CheckRows(101); !errors.Is(err, ErrRowBudget) {
+		t.Errorf("CheckRows(101) = %v, want ErrRowBudget", err)
+	}
+}
+
+func TestMemBudget(t *testing.T) {
+	g := New(context.Background(), Limits{MaxMemoryBytes: 1000})
+	if err := g.ChargeBytes(600); err != nil {
+		t.Fatalf("first charge = %v", err)
+	}
+	if err := g.ChargeBytes(500); !errors.Is(err, ErrMemBudget) {
+		t.Fatalf("second charge = %v, want ErrMemBudget", err)
+	}
+	if g.BytesCharged() != 1100 {
+		t.Errorf("BytesCharged = %d, want 1100", g.BytesCharged())
+	}
+}
+
+func TestAdmit(t *testing.T) {
+	g := New(context.Background(), Limits{MaxIntermediateRows: 100})
+	if err := g.Admit(50, 0); err != nil {
+		t.Errorf("Admit under budget = %v", err)
+	}
+	if err := g.Admit(1000, 80); err != nil {
+		t.Errorf("Admit with bounded strategy peak under budget = %v", err)
+	}
+	g2 := New(context.Background(), Limits{MaxIntermediateRows: 100})
+	if err := g2.Admit(1000, 0); !errors.Is(err, ErrAdmission) {
+		t.Errorf("Admit(1000, 0) = %v, want ErrAdmission", err)
+	}
+	g3 := New(context.Background(), Limits{MaxIntermediateRows: 100})
+	if err := g3.Admit(1000, 500); !errors.Is(err, ErrAdmission) {
+		t.Errorf("Admit(1000, 500) = %v, want ErrAdmission (bounded peak also over)", err)
+	}
+}
+
+func TestViolationCarriesTraceAndUnwraps(t *testing.T) {
+	tr := &obs.Trace{}
+	v := &Violation{
+		Err:   g0RowErr(),
+		Trace: tr,
+	}
+	if !errors.Is(v, ErrRowBudget) {
+		t.Error("Violation does not unwrap to its sentinel")
+	}
+	if TraceOf(v) != tr {
+		t.Error("TraceOf lost the trace")
+	}
+	if TraceOf(errors.New("plain")) != nil {
+		t.Error("TraceOf invented a trace")
+	}
+	if !Violated(v) {
+		t.Error("Violated(v) = false")
+	}
+	if Violated(errors.New("plain")) {
+		t.Error("Violated(plain) = true")
+	}
+}
+
+func g0RowErr() error {
+	g := New(context.Background(), Limits{MaxIntermediateRows: 1})
+	return g.CheckRows(2)
+}
+
+func TestWrapContextErr(t *testing.T) {
+	if err := WrapContextErr(nil); err != nil {
+		t.Errorf("WrapContextErr(nil) = %v", err)
+	}
+	if err := WrapContextErr(context.DeadlineExceeded); !errors.Is(err, ErrDeadline) {
+		t.Errorf("deadline wrap = %v, want ErrDeadline", err)
+	}
+	if err := WrapContextErr(context.Canceled); !errors.Is(err, ErrCanceled) {
+		t.Errorf("cancel wrap = %v, want ErrCanceled", err)
+	}
+	plain := errors.New("boom")
+	if err := WrapContextErr(plain); !errors.Is(err, plain) {
+		t.Errorf("plain error mangled: %v", err)
+	}
+}
+
+func TestStickyAcrossGoroutines(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	g := New(ctx, Limits{})
+	cancel()
+	done := make(chan error, 8)
+	for i := 0; i < 8; i++ {
+		go func() {
+			var err error
+			for j := 0; j < 4*CheckEvery && err == nil; j++ {
+				err = g.Tick()
+			}
+			done <- err
+		}()
+	}
+	for i := 0; i < 8; i++ {
+		if err := <-done; !errors.Is(err, ErrCanceled) {
+			t.Fatalf("worker %d saw %v, want ErrCanceled", i, err)
+		}
+	}
+}

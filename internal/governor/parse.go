@@ -1,0 +1,93 @@
+package governor
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// ParseTimeout parses a CLI -timeout value: a Go duration ("250ms",
+// "2s", "1m30s") or a bare number of seconds ("30"). Empty and "0" mean
+// no deadline. Negative timeouts are rejected — a deadline in the past
+// is always a flag mistake, not a request to fail immediately.
+func ParseTimeout(s string) (time.Duration, error) {
+	s = strings.TrimSpace(s)
+	if s == "" || s == "0" {
+		return 0, nil
+	}
+	var d time.Duration
+	if secs, err := strconv.ParseFloat(s, 64); err == nil {
+		// Bound before converting: NaN and out-of-range floats convert
+		// to int64 implementation-specifically.
+		if !(secs >= 0 && secs <= 1e9) {
+			return 0, fmt.Errorf("governor: timeout %q out of range", s)
+		}
+		d = time.Duration(secs * float64(time.Second))
+	} else {
+		var perr error
+		d, perr = time.ParseDuration(s)
+		if perr != nil {
+			return 0, fmt.Errorf("governor: bad timeout %q (want a duration like 250ms, 2s, 1m30s, or seconds)", s)
+		}
+	}
+	if d < 0 {
+		return 0, fmt.Errorf("governor: negative timeout %q", s)
+	}
+	return d, nil
+}
+
+// ParseRows parses a CLI row-budget value: a non-negative integer with
+// an optional k/m/g (×1000) suffix, e.g. "3246", "10k", "2m". Empty and
+// "0" mean unlimited. The result is guaranteed to fit an int on every
+// platform the engine supports.
+func ParseRows(s string) (int, error) {
+	s = strings.TrimSpace(strings.ToLower(s))
+	if s == "" || s == "0" {
+		return 0, nil
+	}
+	mult := int64(1)
+	switch {
+	case strings.HasSuffix(s, "k"):
+		mult, s = 1_000, strings.TrimSuffix(s, "k")
+	case strings.HasSuffix(s, "m"):
+		mult, s = 1_000_000, strings.TrimSuffix(s, "m")
+	case strings.HasSuffix(s, "g"):
+		mult, s = 1_000_000_000, strings.TrimSuffix(s, "g")
+	}
+	n, err := strconv.ParseInt(s, 10, 64)
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("governor: bad row budget %q (want a non-negative integer, optionally with k/m/g suffix)", s)
+	}
+	const maxRows = int64(1) << 53 // exact in float64, far above any real budget
+	if n > maxRows/mult {
+		return 0, fmt.Errorf("governor: row budget %q overflows", s)
+	}
+	return int(n * mult), nil
+}
+
+// ParseLimits assembles Limits from the CLI flag values: -timeout and
+// -max-rows as accepted by ParseTimeout and ParseRows. maxIntermediate
+// and maxMemory arrive as already-typed values (plain flag.Int / Int64).
+func ParseLimits(timeout, maxRows string, maxIntermediate int, maxMemory int64) (Limits, error) {
+	d, err := ParseTimeout(timeout)
+	if err != nil {
+		return Limits{}, err
+	}
+	rows, err := ParseRows(maxRows)
+	if err != nil {
+		return Limits{}, err
+	}
+	if maxIntermediate < 0 {
+		return Limits{}, fmt.Errorf("governor: negative intermediate-row budget %d", maxIntermediate)
+	}
+	if maxMemory < 0 {
+		return Limits{}, fmt.Errorf("governor: negative memory budget %d", maxMemory)
+	}
+	return Limits{
+		Deadline:            d,
+		MaxRows:             rows,
+		MaxIntermediateRows: maxIntermediate,
+		MaxMemoryBytes:      maxMemory,
+	}, nil
+}

@@ -1,0 +1,99 @@
+package governor
+
+import (
+	"testing"
+	"time"
+)
+
+func TestParseTimeout(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want time.Duration
+		ok   bool
+	}{
+		{"", 0, true},
+		{"0", 0, true},
+		{"250ms", 250 * time.Millisecond, true},
+		{"2s", 2 * time.Second, true},
+		{"1m30s", 90 * time.Second, true},
+		{"30", 30 * time.Second, true},
+		{"0.5", 500 * time.Millisecond, true},
+		{" 2s ", 2 * time.Second, true},
+		{"-1s", 0, false},
+		{"-3", 0, false},
+		{"nan", 0, false},
+		{"inf", 0, false},
+		{"1e300", 0, false},
+		{"bogus", 0, false},
+	} {
+		got, err := ParseTimeout(tc.in)
+		if (err == nil) != tc.ok {
+			t.Errorf("ParseTimeout(%q) err = %v, want ok=%v", tc.in, err, tc.ok)
+			continue
+		}
+		if tc.ok && got != tc.want {
+			t.Errorf("ParseTimeout(%q) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestParseRows(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want int
+		ok   bool
+	}{
+		{"", 0, true},
+		{"0", 0, true},
+		{"3246", 3246, true},
+		{"10k", 10_000, true},
+		{"2m", 2_000_000, true},
+		{"1g", 1_000_000_000, true},
+		{"10K", 10_000, true},
+		{" 5k ", 5_000, true},
+		{"-1", 0, false},
+		{"1.5", 0, false},
+		{"k", 0, false},
+		{"10kk", 0, false},
+		{"99999999999999999999", 0, false},
+		{"9999999999999999g", 0, false},
+	} {
+		got, err := ParseRows(tc.in)
+		if (err == nil) != tc.ok {
+			t.Errorf("ParseRows(%q) err = %v, want ok=%v", tc.in, err, tc.ok)
+			continue
+		}
+		if tc.ok && got != tc.want {
+			t.Errorf("ParseRows(%q) = %d, want %d", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestParseLimits(t *testing.T) {
+	l, err := ParseLimits("2s", "10k", 500, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Limits{Deadline: 2 * time.Second, MaxRows: 10_000, MaxIntermediateRows: 500, MaxMemoryBytes: 1 << 20}
+	if l != want {
+		t.Errorf("ParseLimits = %+v, want %+v", l, want)
+	}
+	if !l.Enabled() {
+		t.Error("Enabled() = false")
+	}
+	if (Limits{}).Enabled() {
+		t.Error("zero Limits Enabled() = true")
+	}
+	if _, err := ParseLimits("bogus", "", 0, 0); err == nil {
+		t.Error("bad timeout accepted")
+	}
+	if _, err := ParseLimits("", "bogus", 0, 0); err == nil {
+		t.Error("bad rows accepted")
+	}
+	if _, err := ParseLimits("", "", -1, 0); err == nil {
+		t.Error("negative intermediate budget accepted")
+	}
+	if _, err := ParseLimits("", "", 0, -1); err == nil {
+		t.Error("negative memory budget accepted")
+	}
+}

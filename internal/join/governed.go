@@ -1,0 +1,44 @@
+package join
+
+import (
+	"fmt"
+
+	"relquery/internal/governor"
+)
+
+// Governed is implemented by algorithms that accept a resource governor
+// (internal/governor). WithGovernor returns a copy of the algorithm whose
+// hot loops call the governor's cooperative checkpoints at tuple-batch
+// granularity, so a canceled context, an expired deadline or a blown row
+// budget aborts the join with a typed sentinel instead of running to
+// completion. Mirrors Metered: the algebra evaluator wires its governor
+// through this seam without naming concrete algorithm types. All
+// algorithms in this package are Governed; a nil governor restores the
+// ungoverned zero-overhead path.
+type Governed interface {
+	Algorithm
+	WithGovernor(g *governor.Governor) Algorithm
+}
+
+// checkBatch is how many tuples a governed loop processes between
+// row-budget checks and fault-injection crossings. Tied to the governor's
+// own tick amortization so both checks share the batch boundary.
+const checkBatch = governor.CheckEvery
+
+// recoveredError converts a recovered panic value into an error,
+// preserving error payloads (like *fault.InjectedPanic) for errors.As.
+func recoveredError(what string, rec any) error {
+	if err, ok := rec.(error); ok {
+		return fmt.Errorf("join: %s panicked: %w", what, err)
+	}
+	return fmt.Errorf("join: %s panicked: %v", what, rec)
+}
+
+var (
+	_ Governed = NestedLoop{}
+	_ Governed = Hash{}
+	_ Governed = SortMerge{}
+	_ Governed = Parallel{}
+	_ Governed = Generic{}
+	_ Governed = Yannakakis{}
+)

@@ -13,6 +13,8 @@ import (
 	"fmt"
 	"sort"
 
+	"relquery/internal/fault"
+	"relquery/internal/governor"
 	"relquery/internal/obs"
 	"relquery/internal/relation"
 )
@@ -143,6 +145,9 @@ type NestedLoop struct {
 	// Metrics, when non-nil, receives per-join counters: probed counts
 	// the |l|·|r| pairs examined, built is 0 (no build structure).
 	Metrics *obs.Metrics
+	// Gov, when non-nil, is ticked once per examined pair, so a canceled
+	// or over-budget evaluation aborts mid-scan.
+	Gov *governor.Governor
 }
 
 // Name implements Algorithm.
@@ -154,17 +159,35 @@ func (nl NestedLoop) WithMetrics(m *obs.Metrics) Algorithm {
 	return nl
 }
 
+// WithGovernor implements Governed.
+func (nl NestedLoop) WithGovernor(g *governor.Governor) Algorithm {
+	nl.Gov = g
+	return nl
+}
+
 // Join implements Algorithm.
 func (nl NestedLoop) Join(l, r *relation.Relation) (*relation.Relation, error) {
+	fault.Hit(fault.JoinStart)
 	shared := l.Scheme().Intersect(r.Scheme())
 	kl := newKeyExtractor(l.Scheme(), shared)
 	kr := newKeyExtractor(r.Scheme(), shared)
 	c := newCombiner(l.Scheme(), r.Scheme())
 	out := relation.New(c.out)
 	var err error
+	n := 0
 	l.Each(func(lt relation.Tuple) bool {
 		lk := kl.key(lt)
 		r.Each(func(rt relation.Tuple) bool {
+			if n%checkBatch == 0 {
+				fault.Hit(fault.JoinBatch)
+				if err = nl.Gov.CheckRows(out.Len()); err != nil {
+					return false
+				}
+			}
+			n++
+			if err = nl.Gov.Tick(); err != nil {
+				return false
+			}
 			if kr.key(rt) == lk {
 				if _, err = out.Add(c.combine(lt, rt)); err != nil {
 					return false
@@ -188,6 +211,10 @@ type Hash struct {
 	// Metrics, when non-nil, receives per-join counters: built counts
 	// build-side rows, probed counts probe-side rows.
 	Metrics *obs.Metrics
+	// Gov, when non-nil, is ticked once per build and probe tuple, with a
+	// row-budget check per probe batch, so one oversized hash join dies
+	// mid-probe instead of after materializing.
+	Gov *governor.Governor
 }
 
 // Name implements Algorithm.
@@ -199,8 +226,15 @@ func (h Hash) WithMetrics(m *obs.Metrics) Algorithm {
 	return h
 }
 
+// WithGovernor implements Governed.
+func (h Hash) WithGovernor(g *governor.Governor) Algorithm {
+	h.Gov = g
+	return h
+}
+
 // Join implements Algorithm.
 func (h Hash) Join(l, r *relation.Relation) (*relation.Relation, error) {
+	fault.Hit(fault.JoinStart)
 	out, err := h.join(l, r)
 	if err != nil {
 		return nil, err
@@ -221,38 +255,48 @@ func (h Hash) join(l, r *relation.Relation) (*relation.Relation, error) {
 	c := newCombiner(l.Scheme(), r.Scheme())
 	out := relation.New(c.out)
 
-	if l.Len() <= r.Len() {
-		table := make(map[string][]relation.Tuple, l.Len())
-		l.Each(func(lt relation.Tuple) bool {
-			k := kl.key(lt)
-			table[k] = append(table[k], lt)
-			return true
-		})
-		var err error
-		r.Each(func(rt relation.Tuple) bool {
-			for _, lt := range table[kr.key(rt)] {
-				if _, err = out.Add(c.combine(lt, rt)); err != nil {
-					return false
-				}
-			}
-			return true
-		})
-		if err != nil {
-			return nil, err
-		}
-		return out, nil
+	// Build on the smaller input (ties build left), probe the other.
+	build, probe := l, r
+	keyBuild, keyProbe := kl, kr
+	buildIsLeft := true
+	if r.Len() < l.Len() {
+		build, probe = r, l
+		keyBuild, keyProbe = kr, kl
+		buildIsLeft = false
 	}
-
-	table := make(map[string][]relation.Tuple, r.Len())
-	r.Each(func(rt relation.Tuple) bool {
-		k := kr.key(rt)
-		table[k] = append(table[k], rt)
+	table := make(map[string][]relation.Tuple, build.Len())
+	var err error
+	build.Each(func(t relation.Tuple) bool {
+		if err = h.Gov.Tick(); err != nil {
+			return false
+		}
+		k := keyBuild.key(t)
+		table[k] = append(table[k], t)
 		return true
 	})
-	var err error
-	l.Each(func(lt relation.Tuple) bool {
-		for _, rt := range table[kl.key(lt)] {
-			if _, err = out.Add(c.combine(lt, rt)); err != nil {
+	if err != nil {
+		return nil, err
+	}
+	n := 0
+	probe.Each(func(pt relation.Tuple) bool {
+		if n%checkBatch == 0 {
+			fault.Hit(fault.JoinBatch)
+			if err = h.Gov.CheckRows(out.Len()); err != nil {
+				return false
+			}
+		}
+		n++
+		if err = h.Gov.Tick(); err != nil {
+			return false
+		}
+		for _, bt := range table[keyProbe.key(pt)] {
+			var ot relation.Tuple
+			if buildIsLeft {
+				ot = c.combine(bt, pt)
+			} else {
+				ot = c.combine(pt, bt)
+			}
+			if _, err = out.Add(ot); err != nil {
 				return false
 			}
 		}
@@ -271,6 +315,9 @@ type SortMerge struct {
 	// rows sorted (both sides), probed counts the rows consumed by the
 	// merge.
 	Metrics *obs.Metrics
+	// Gov, when non-nil, is ticked once per collected row and per emitted
+	// pair, with a row-budget check per output batch.
+	Gov *governor.Governor
 }
 
 // Name implements Algorithm.
@@ -282,8 +329,15 @@ func (sm SortMerge) WithMetrics(m *obs.Metrics) Algorithm {
 	return sm
 }
 
+// WithGovernor implements Governed.
+func (sm SortMerge) WithGovernor(g *governor.Governor) Algorithm {
+	sm.Gov = g
+	return sm
+}
+
 // Join implements Algorithm.
 func (sm SortMerge) Join(l, r *relation.Relation) (*relation.Relation, error) {
+	fault.Hit(fault.JoinStart)
 	shared := l.Scheme().Intersect(r.Scheme())
 	kl := newKeyExtractor(l.Scheme(), shared)
 	kr := newKeyExtractor(r.Scheme(), shared)
@@ -294,19 +348,32 @@ func (sm SortMerge) Join(l, r *relation.Relation) (*relation.Relation, error) {
 		key relation.Tuple
 		t   relation.Tuple
 	}
-	collect := func(rel *relation.Relation, ke keyExtractor) []keyed {
+	collect := func(rel *relation.Relation, ke keyExtractor) ([]keyed, error) {
 		rows := make([]keyed, 0, rel.Len())
+		var err error
 		rel.Each(func(t relation.Tuple) bool {
+			if err = sm.Gov.Tick(); err != nil {
+				return false
+			}
 			rows = append(rows, keyed{key: ke.values(t), t: t})
 			return true
 		})
+		if err != nil {
+			return nil, err
+		}
 		sort.Slice(rows, func(i, j int) bool { return rows[i].key.Less(rows[j].key) })
-		return rows
+		return rows, nil
 	}
-	ls := collect(l, kl)
-	rs := collect(r, kr)
+	ls, err := collect(l, kl)
+	if err != nil {
+		return nil, err
+	}
+	rs, err := collect(r, kr)
+	if err != nil {
+		return nil, err
+	}
 
-	i, j := 0, 0
+	i, j, n := 0, 0, 0
 	for i < len(ls) && j < len(rs) {
 		switch {
 		case ls[i].key.Less(rs[j].key):
@@ -325,6 +392,16 @@ func (sm SortMerge) Join(l, r *relation.Relation) (*relation.Relation, error) {
 			}
 			for a := i; a < i2; a++ {
 				for b := j; b < j2; b++ {
+					if n%checkBatch == 0 {
+						fault.Hit(fault.JoinBatch)
+						if err := sm.Gov.CheckRows(out.Len()); err != nil {
+							return nil, err
+						}
+					}
+					n++
+					if err := sm.Gov.Tick(); err != nil {
+						return nil, err
+					}
 					if _, err := out.Add(c.combine(ls[a].t, rs[b].t)); err != nil {
 						return nil, err
 					}

@@ -5,6 +5,8 @@ import (
 	"runtime"
 	"sync"
 
+	"relquery/internal/fault"
+	"relquery/internal/governor"
 	"relquery/internal/obs"
 	"relquery/internal/relation"
 )
@@ -37,6 +39,14 @@ import (
 // Joins that cannot benefit — no shared attributes (a cross product has
 // a single empty key) or inputs below MinParallelRows — fall back to the
 // sequential Hash join.
+//
+// Failure semantics: workers poll the shared governor per tuple, so the
+// first checkpoint violation (cancel, deadline, row budget) is sticky
+// and every other worker drains within one batch of it. A panic on a
+// worker goroutine is recovered on that goroutine, recorded as the
+// evaluation's failure, and surfaces as an error from Join — never a
+// crashed process. All workers are joined (wg.Wait) before Join returns,
+// so no goroutine outlives the call, even on failure.
 type Parallel struct {
 	// Workers is the number of partitions and worker goroutines;
 	// values < 1 mean runtime.GOMAXPROCS(0).
@@ -46,6 +56,10 @@ type Parallel struct {
 	// recorded as a partitioned join (with its bucket count), a broadcast
 	// join, or a sequential fallback.
 	Metrics *obs.Metrics
+	// Gov, when non-nil, is polled by every worker per tuple; its sticky
+	// failure is what lets workers drain promptly after a peer trips a
+	// checkpoint or panics.
+	Gov *governor.Governor
 }
 
 // MinParallelRows is the combined input size below which Parallel
@@ -67,6 +81,12 @@ func (p Parallel) WithMetrics(m *obs.Metrics) Algorithm {
 	return p
 }
 
+// WithGovernor implements Governed.
+func (p Parallel) WithGovernor(g *governor.Governor) Algorithm {
+	p.Gov = g
+	return p
+}
+
 func (p Parallel) workers() int {
 	if p.Workers < 1 {
 		return runtime.GOMAXPROCS(0)
@@ -85,13 +105,39 @@ type keyedTuple struct {
 	t   relation.Tuple
 }
 
+// firstFail collects the first failure across a join's worker pool and,
+// when a governor is attached, makes it the evaluation's sticky failure
+// so peer workers drain on their next poll.
+type firstFail struct {
+	gov  *governor.Governor
+	once sync.Once
+	err  error
+}
+
+func (f *firstFail) fail(err error) {
+	if err == nil {
+		return
+	}
+	f.gov.Fail(err)
+	f.once.Do(func() { f.err = err })
+}
+
+// recoverTo converts a worker panic into a recorded failure; deferred on
+// every worker goroutine.
+func (f *firstFail) recoverTo(what string) {
+	if rec := recover(); rec != nil {
+		f.fail(recoveredError(what, rec))
+	}
+}
+
 // Join implements Algorithm.
 func (p Parallel) Join(l, r *relation.Relation) (*relation.Relation, error) {
+	fault.Hit(fault.JoinStart)
 	shared := l.Scheme().Intersect(r.Scheme())
 	w := p.workers()
 	if w <= 1 || shared.Len() == 0 || l.Len()+r.Len() < MinParallelRows {
 		p.Metrics.SequentialFallback()
-		return Hash{Metrics: p.Metrics}.Join(l, r)
+		return Hash{Metrics: p.Metrics, Gov: p.Gov}.Join(l, r)
 	}
 
 	kl := newKeyExtractor(l.Scheme(), shared)
@@ -108,19 +154,30 @@ func (p Parallel) Join(l, r *relation.Relation) (*relation.Relation, error) {
 		buildIsLeft = false
 	}
 	table := make(map[string][]relation.Tuple, build.Len())
+	var err error
 	build.Each(func(t relation.Tuple) bool {
+		if err = p.Gov.Tick(); err != nil {
+			return false
+		}
 		k := keyBuild.key(t)
 		table[k] = append(table[k], t)
 		return true
 	})
+	if err != nil {
+		return nil, err
+	}
 
+	ff := &firstFail{gov: p.Gov}
 	var tuples [][]relation.Tuple
 	if len(table) >= PartitionKeyFactor*w {
 		p.Metrics.Partitioned(w)
-		tuples = p.partitioned(table, probe, keyProbe, c, buildIsLeft, w)
+		tuples = p.partitioned(table, probe, keyProbe, c, buildIsLeft, w, ff)
 	} else {
 		p.Metrics.Broadcast()
-		tuples = p.broadcast(table, probe, keyProbe, c, buildIsLeft, w)
+		tuples = p.broadcast(table, probe, keyProbe, c, buildIsLeft, w, ff)
+	}
+	if ff.err != nil {
+		return nil, ff.err
 	}
 	// Merge in worker order. Output tuples from different chunks/buckets
 	// are necessarily distinct (a natural-join output tuple determines
@@ -131,6 +188,9 @@ func (p Parallel) Join(l, r *relation.Relation) (*relation.Relation, error) {
 	if err != nil {
 		return nil, err
 	}
+	if err := p.Gov.CheckRows(out.Len()); err != nil {
+		return nil, err
+	}
 	p.Metrics.JoinWork(build.Len(), probe.Len(), out.Len())
 	p.Metrics.ObserveJoin(out.Len())
 	return out, nil
@@ -139,7 +199,7 @@ func (p Parallel) Join(l, r *relation.Relation) (*relation.Relation, error) {
 // broadcast shares the build table read-only across workers and splits
 // the probe side into w contiguous chunks. Emission order is exactly the
 // sequential hash join's probe order.
-func (p Parallel) broadcast(table map[string][]relation.Tuple, probe *relation.Relation, keyProbe keyExtractor, c combiner, buildIsLeft bool, w int) [][]relation.Tuple {
+func (p Parallel) broadcast(table map[string][]relation.Tuple, probe *relation.Relation, keyProbe keyExtractor, c combiner, buildIsLeft bool, w int, ff *firstFail) [][]relation.Tuple {
 	total := probe.Len()
 	chunk := (total + w - 1) / w
 	tuples := make([][]relation.Tuple, w)
@@ -153,8 +213,14 @@ func (p Parallel) broadcast(table map[string][]relation.Tuple, probe *relation.R
 		wg.Add(1)
 		go func(wi, lo, hi int) {
 			defer wg.Done()
+			defer ff.recoverTo("parallel broadcast worker")
+			fault.Hit(fault.ParallelWorker)
 			var ts []relation.Tuple
 			for i := lo; i < hi; i++ {
+				if err := p.Gov.Tick(); err != nil {
+					ff.fail(err)
+					return
+				}
 				pt := probe.Tuple(i)
 				ts = emitMatches(table[keyProbe.key(pt)], pt, c, buildIsLeft, ts)
 			}
@@ -167,7 +233,7 @@ func (p Parallel) broadcast(table map[string][]relation.Tuple, probe *relation.R
 
 // partitioned splits the build table and the probe side into w buckets
 // by key hash and joins bucket pairs on the worker pool.
-func (p Parallel) partitioned(table map[string][]relation.Tuple, probe *relation.Relation, keyProbe keyExtractor, c combiner, buildIsLeft bool, w int) [][]relation.Tuple {
+func (p Parallel) partitioned(table map[string][]relation.Tuple, probe *relation.Relation, keyProbe keyExtractor, c combiner, buildIsLeft bool, w int, ff *firstFail) [][]relation.Tuple {
 	// Scatter the already-built table into per-bucket mini-tables
 	// without re-serializing any key.
 	miniTables := make([]map[string][]relation.Tuple, w)
@@ -178,7 +244,10 @@ func (p Parallel) partitioned(table map[string][]relation.Tuple, probe *relation
 		b := bucketOf(k, w)
 		miniTables[b][k] = ts
 	}
-	probeBuckets := partition(probe, keyProbe, w)
+	probeBuckets := partition(probe, keyProbe, w, p.Gov, ff)
+	if ff.err != nil {
+		return nil
+	}
 
 	tuples := make([][]relation.Tuple, w)
 	var wg sync.WaitGroup
@@ -186,8 +255,14 @@ func (p Parallel) partitioned(table map[string][]relation.Tuple, probe *relation
 		wg.Add(1)
 		go func(b int) {
 			defer wg.Done()
+			defer ff.recoverTo("parallel partitioned worker")
+			fault.Hit(fault.ParallelWorker)
 			var ts []relation.Tuple
 			for _, kt := range probeBuckets[b] {
+				if err := p.Gov.Tick(); err != nil {
+					ff.fail(err)
+					return
+				}
 				ts = emitMatches(miniTables[b][kt.key], kt.t, c, buildIsLeft, ts)
 			}
 			tuples[b] = ts
@@ -215,7 +290,7 @@ func emitMatches(matches []relation.Tuple, pt relation.Tuple, c combiner, buildI
 // and scatters into private sub-buckets; concatenating sub-buckets in
 // worker order preserves the relation's tuple order within every bucket,
 // which keeps the overall join deterministic.
-func partition(rel *relation.Relation, ke keyExtractor, n int) [][]keyedTuple {
+func partition(rel *relation.Relation, ke keyExtractor, n int, gov *governor.Governor, ff *firstFail) [][]keyedTuple {
 	total := rel.Len()
 	chunk := (total + n - 1) / n
 	sub := make([][][]keyedTuple, n) // sub[worker][bucket]
@@ -229,8 +304,14 @@ func partition(rel *relation.Relation, ke keyExtractor, n int) [][]keyedTuple {
 		wg.Add(1)
 		go func(wi, lo, hi int) {
 			defer wg.Done()
+			defer ff.recoverTo("parallel partition worker")
+			fault.Hit(fault.ParallelWorker)
 			mine := make([][]keyedTuple, n)
 			for i := lo; i < hi; i++ {
+				if err := gov.Tick(); err != nil {
+					ff.fail(err)
+					return
+				}
 				t := rel.Tuple(i)
 				k := ke.key(t)
 				b := bucketOf(k, n)

@@ -1,6 +1,8 @@
 package join
 
 import (
+	"relquery/internal/fault"
+	"relquery/internal/governor"
 	"relquery/internal/relation"
 )
 
@@ -8,6 +10,14 @@ import (
 // tuple of s on their shared attributes. When the schemes are disjoint,
 // the result is r itself if s is nonempty and empty otherwise.
 func Semijoin(r, s *relation.Relation) (*relation.Relation, error) {
+	return SemijoinWith(r, s, nil)
+}
+
+// SemijoinWith is Semijoin under a governor: both scan loops tick g, so
+// a semijoin pass over a large relation aborts at tuple granularity on
+// cancel, deadline or budget violation. A nil governor is Semijoin.
+func SemijoinWith(r, s *relation.Relation, g *governor.Governor) (*relation.Relation, error) {
+	fault.Hit(fault.Semijoin)
 	shared := r.Scheme().Intersect(s.Scheme())
 	keyR, err := projectionKeys(r.Scheme(), shared)
 	if err != nil {
@@ -18,23 +28,32 @@ func Semijoin(r, s *relation.Relation) (*relation.Relation, error) {
 		return nil, err
 	}
 	keys := make(map[string]struct{}, s.Len())
+	var loopErr error
 	s.Each(func(t relation.Tuple) bool {
+		if loopErr = g.Tick(); loopErr != nil {
+			return false
+		}
 		keys[keyS(t)] = struct{}{}
 		return true
 	})
+	if loopErr != nil {
+		return nil, loopErr
+	}
 	out := relation.New(r.Scheme())
-	var addErr error
 	r.Each(func(t relation.Tuple) bool {
+		if loopErr = g.Tick(); loopErr != nil {
+			return false
+		}
 		if _, ok := keys[keyR(t)]; ok {
 			if _, err := out.Add(t); err != nil {
-				addErr = err
+				loopErr = err
 				return false
 			}
 		}
 		return true
 	})
-	if addErr != nil {
-		return nil, addErr
+	if loopErr != nil {
+		return nil, loopErr
 	}
 	return out, nil
 }

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sort"
 
+	"relquery/internal/fault"
+	"relquery/internal/governor"
 	"relquery/internal/obs"
 	"relquery/internal/relation"
 )
@@ -36,6 +38,11 @@ type Generic struct {
 	// rows indexed into sorted tries, probed counts candidate values
 	// examined, and the wcoj-specific candidate/intersection counters.
 	Metrics *obs.Metrics
+	// Gov, when non-nil, is ticked during trie construction and once per
+	// candidate value of the binding search, with a row-budget check as
+	// output bindings accumulate, so even a search that stays under the
+	// AGM bound dies promptly on cancel or budget violation.
+	Gov *governor.Governor
 }
 
 // GenericStats reports one generic join's search effort.
@@ -58,6 +65,12 @@ func (g Generic) WithMetrics(m *obs.Metrics) Algorithm {
 	return g
 }
 
+// WithGovernor implements Governed.
+func (g Generic) WithGovernor(gov *governor.Governor) Algorithm {
+	g.Gov = gov
+	return g
+}
+
 // Join implements Algorithm; a binary generic join is simply the two-input
 // case of JoinAll.
 func (g Generic) Join(l, r *relation.Relation) (*relation.Relation, error) {
@@ -74,6 +87,7 @@ func (g Generic) JoinAll(inputs []*relation.Relation) (*relation.Relation, error
 // spans. Like Multi, joining zero relations is an error and a single
 // relation passes through unchanged.
 func (g Generic) JoinAllStats(inputs []*relation.Relation) (*relation.Relation, GenericStats, error) {
+	fault.Hit(fault.JoinStart)
 	switch len(inputs) {
 	case 0:
 		return nil, GenericStats{}, fmt.Errorf("join: JoinAll requires at least one input")
@@ -100,11 +114,19 @@ func (g Generic) JoinAllStats(inputs []*relation.Relation) (*relation.Relation, 
 	tries := make([]*sortedTrie, len(inputs))
 	indexed := 0
 	for i, r := range inputs {
-		tries[i] = newSortedTrie(r, order)
+		t, err := newSortedTrie(r, order, g.Gov)
+		if err != nil {
+			return nil, GenericStats{}, err
+		}
+		tries[i] = t
 		indexed += r.Len()
 	}
 	j := newGenericJoin(outScheme, order, tries)
+	j.gov = g.Gov
 	j.search(0)
+	if j.err != nil {
+		return nil, GenericStats{}, j.err
+	}
 
 	// Distinct bindings yield distinct output tuples, so the result
 	// assembles without re-deduplication.
@@ -178,7 +200,7 @@ type sortedTrie struct {
 	rows    [][]relation.Value
 }
 
-func newSortedTrie(r *relation.Relation, order []relation.Attribute) *sortedTrie {
+func newSortedTrie(r *relation.Relation, order []relation.Attribute, gov *governor.Governor) (*sortedTrie, error) {
 	sc := r.Scheme()
 	depthOf := make(map[relation.Attribute]int, sc.Len())
 	cols := make([]int, 0, sc.Len())
@@ -189,7 +211,11 @@ func newSortedTrie(r *relation.Relation, order []relation.Attribute) *sortedTrie
 		}
 	}
 	rows := make([][]relation.Value, 0, r.Len())
+	var err error
 	r.Each(func(t relation.Tuple) bool {
+		if err = gov.Tick(); err != nil {
+			return false
+		}
 		row := make([]relation.Value, len(cols))
 		for d, j := range cols {
 			row[d] = t[j]
@@ -197,6 +223,9 @@ func newSortedTrie(r *relation.Relation, order []relation.Attribute) *sortedTrie
 		rows = append(rows, row)
 		return true
 	})
+	if err != nil {
+		return nil, err
+	}
 	sort.Slice(rows, func(i, j int) bool {
 		a, b := rows[i], rows[j]
 		for k := range a {
@@ -206,7 +235,7 @@ func newSortedTrie(r *relation.Relation, order []relation.Attribute) *sortedTrie
 		}
 		return false
 	})
-	return &sortedTrie{depthOf: depthOf, rows: rows}
+	return &sortedTrie{depthOf: depthOf, rows: rows}, nil
 }
 
 // trieRange is a half-open row range [lo, hi) of one trie — the tuples
@@ -225,6 +254,11 @@ type genericJoin struct {
 
 	candidates    int
 	intersections int
+
+	// gov is the search's cooperative checkpoint; err is the abort
+	// latch — once set, every recursion level unwinds immediately.
+	gov *governor.Governor
+	err error
 }
 
 func newGenericJoin(out relation.Scheme, order []relation.Attribute, tries []*sortedTrie) *genericJoin {
@@ -261,18 +295,26 @@ func newGenericJoin(out relation.Scheme, order []relation.Attribute, tries []*so
 // search extends the binding with the k-th attribute: it walks the
 // distinct candidate values of the relation with the smallest compatible
 // range and narrows every other relation containing the attribute by
-// binary search, recursing only while all of them stay non-empty.
+// binary search, recursing only while all of them stay non-empty. A
+// governor violation latches j.err and unwinds the whole recursion.
 func (j *genericJoin) search(k int) {
+	if j.err != nil {
+		return
+	}
 	if k == len(j.order) {
 		t := make(relation.Tuple, len(j.outPos))
 		for i, oi := range j.outPos {
 			t[i] = j.bind[oi]
 		}
 		j.tuples = append(j.tuples, t)
+		if len(j.tuples)%checkBatch == 0 {
+			j.err = j.gov.CheckRows(len(j.tuples))
+		}
 		return
 	}
 	attr := j.order[k]
 	parts := j.parts[k]
+	fault.Hit(fault.WCOJSearch)
 
 	saved := make([]trieRange, len(parts))
 	seedIdx := 0
@@ -289,6 +331,9 @@ func (j *genericJoin) search(k int) {
 
 	lo, hi := saved[seedIdx].lo, saved[seedIdx].hi
 	for lo < hi {
+		if j.err = j.gov.Tick(); j.err != nil {
+			return
+		}
 		v := st.rows[lo][d]
 		vhi := upperBound(st.rows, lo, hi, d, v)
 		j.candidates++
@@ -312,6 +357,9 @@ func (j *genericJoin) search(k int) {
 		if ok {
 			j.bind[k] = v
 			j.search(k + 1)
+			if j.err != nil {
+				return
+			}
 		}
 		lo = vhi
 	}

@@ -3,6 +3,8 @@ package join
 import (
 	"fmt"
 
+	"relquery/internal/fault"
+	"relquery/internal/governor"
 	"relquery/internal/obs"
 	"relquery/internal/relation"
 )
@@ -35,6 +37,10 @@ type Yannakakis struct {
 	// pass's output cardinality, the tree joins' tuple traffic (via the
 	// inner hash join), and the per-evaluation yannakakis counters.
 	Metrics *obs.Metrics
+	// Gov, when non-nil, is ticked inside every semijoin sweep and every
+	// tree join (via the governed inner hash join), so both full-reducer
+	// passes and the final joins abort at tuple granularity.
+	Gov *governor.Governor
 }
 
 // YannakakisStats reports one acyclic join's full-reducer effort.
@@ -62,6 +68,12 @@ func (y Yannakakis) WithMetrics(m *obs.Metrics) Algorithm {
 	return y
 }
 
+// WithGovernor implements Governed.
+func (y Yannakakis) WithGovernor(g *governor.Governor) Algorithm {
+	y.Gov = g
+	return y
+}
+
 // Join implements Algorithm; two relations are always α-acyclic, so a
 // binary Yannakakis join is a pairwise full reduction (one semijoin each
 // way) followed by a hash join of the reduced sides.
@@ -82,6 +94,10 @@ func (y Yannakakis) JoinAll(inputs []*relation.Relation) (*relation.Relation, er
 // and peak-tracking hook). Like Multi, joining zero relations is an
 // error and a single relation passes through unchanged.
 func (y Yannakakis) JoinAllStats(inputs []*relation.Relation, observe func(*relation.Relation) error) (*relation.Relation, YannakakisStats, error) {
+	fault.Hit(fault.JoinStart)
+	if err := y.Gov.Check(); err != nil {
+		return nil, YannakakisStats{}, err
+	}
 	switch len(inputs) {
 	case 0:
 		return nil, YannakakisStats{}, fmt.Errorf("join: JoinAll requires at least one input")
@@ -97,7 +113,7 @@ func (y Yannakakis) JoinAllStats(inputs []*relation.Relation, observe func(*rela
 		// Cyclic: no join tree exists. Fall back to the greedy binary
 		// plan with pairwise-reduced joins — sound for any join, just
 		// without the acyclic output-boundedness guarantee.
-		var alg Algorithm = Hash{Metrics: y.Metrics}
+		var alg Algorithm = Hash{Metrics: y.Metrics, Gov: y.Gov}
 		if observe != nil {
 			alg = observedAlgorithm{inner: alg, observe: observe}
 		}
@@ -118,7 +134,7 @@ func (y Yannakakis) JoinAllStats(inputs []*relation.Relation, observe func(*rela
 	// Join children into parents along the tree, leaves first: with the
 	// relations fully reduced, every intermediate tuple extends to an
 	// output tuple, so no step outgrows the output.
-	alg := Hash{Metrics: y.Metrics}
+	alg := Hash{Metrics: y.Metrics, Gov: y.Gov}
 	acc := make([]*relation.Relation, len(reduced))
 	copy(acc, reduced)
 	for _, i := range tree.Order {
@@ -155,7 +171,7 @@ func (y Yannakakis) fullReduce(rels []*relation.Relation, tree *JoinTree, observ
 	copy(out, rels)
 	semijoins := 0
 	reduce := func(dst, src int) error {
-		reduced, err := Semijoin(out[dst], out[src])
+		reduced, err := SemijoinWith(out[dst], out[src], y.Gov)
 		if err != nil {
 			return err
 		}

@@ -61,6 +61,8 @@ type Metrics struct {
 	semijoins       atomic.Int64
 	semijoinRows    atomic.Int64
 
+	degradedEvals atomic.Int64
+
 	cacheHits          atomic.Int64
 	cacheMisses        atomic.Int64
 	cacheInvalidations atomic.Int64
@@ -169,6 +171,16 @@ func (m *Metrics) Yannakakis() {
 	m.yannakakisJoins.Add(1)
 }
 
+// Degraded records one graceful degradation: a wcoj or yannakakis join
+// node failed (engine error or recovered panic) and was retried on the
+// greedy binary path.
+func (m *Metrics) Degraded() {
+	if m == nil {
+		return
+	}
+	m.degradedEvals.Add(1)
+}
+
 // CacheHit records a subexpression served from a cache (the per-call memo
 // or the shared fingerprint-keyed cache) without re-evaluation.
 func (m *Metrics) CacheHit() {
@@ -221,6 +233,7 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 		YannakakisJoins:     m.yannakakisJoins.Load(),
 		Semijoins:           m.semijoins.Load(),
 		SemijoinRows:        m.semijoinRows.Load(),
+		DegradedEvals:       m.degradedEvals.Load(),
 		CacheHits:           m.cacheHits.Load(),
 		CacheMisses:         m.cacheMisses.Load(),
 		CacheInvalidations:  m.cacheInvalidations.Load(),
@@ -272,6 +285,9 @@ type MetricsSnapshot struct {
 	// SemijoinRows totals the output cardinalities of all semijoin
 	// passes — the per-pass cardinality trail of the full reducer.
 	SemijoinRows int64 `json:"semijoin_rows"`
+	// DegradedEvals counts join nodes whose wcoj/yannakakis strategy
+	// failed and was retried on the greedy binary path.
+	DegradedEvals int64 `json:"degraded_evals"`
 	// CacheHits counts subexpressions served from a cache.
 	CacheHits int64 `json:"cache_hits"`
 	// CacheMisses counts subexpressions that were evaluated.
@@ -287,12 +303,12 @@ func (s MetricsSnapshot) String() string {
 			"built=%d probed=%d emitted=%d "+
 			"partitioned=%d partitions=%d broadcast=%d seq_fallback=%d "+
 			"wcoj=%d wcoj_candidates=%d wcoj_intersections=%d "+
-			"yannakakis=%d semijoins=%d semijoin_rows=%d "+
+			"yannakakis=%d semijoins=%d semijoin_rows=%d degraded=%d "+
 			"cache_hits=%d cache_misses=%d cache_invalidations=%d",
 		s.Joins, s.MaxIntermediate, s.IntermediateTuples,
 		s.TuplesBuilt, s.TuplesProbed, s.TuplesEmitted,
 		s.PartitionedJoins, s.Partitions, s.BroadcastJoins, s.SequentialFallbacks,
 		s.WCOJJoins, s.WCOJCandidates, s.WCOJIntersections,
-		s.YannakakisJoins, s.Semijoins, s.SemijoinRows,
+		s.YannakakisJoins, s.Semijoins, s.SemijoinRows, s.DegradedEvals,
 		s.CacheHits, s.CacheMisses, s.CacheInvalidations)
 }

@@ -89,6 +89,10 @@ type Span struct {
 	// ReducedRows totals the input cardinalities surviving the full
 	// reducer; InputRows' sum minus this is the dangling tuples removed.
 	ReducedRows int `json:"reduced_rows,omitempty"`
+	// Degraded marks a join span whose original strategy (wcoj or
+	// yannakakis) failed and whose result came from a greedy-binary
+	// retry; Algorithm then names the fallback that actually ran.
+	Degraded bool `json:"degraded,omitempty"`
 	// Err records the node's evaluation error, if any (budget aborts show
 	// up here).
 	Err string `json:"error,omitempty"`
@@ -200,6 +204,14 @@ func (s *Span) SetYannakakis(semijoins, reducedRows int) {
 	}
 	s.Semijoins = semijoins
 	s.ReducedRows = reducedRows
+}
+
+// SetDegraded marks the span as served by a graceful-degradation retry.
+func (s *Span) SetDegraded() {
+	if s == nil {
+		return
+	}
+	s.Degraded = true
 }
 
 // SetAGMBound records the AGM worst-case output bound for a join span.

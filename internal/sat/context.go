@@ -1,0 +1,147 @@
+package sat
+
+import (
+	"context"
+
+	"relquery/internal/cnf"
+	"relquery/internal/governor"
+)
+
+// CheckNodes is how many search steps pass between context polls in the
+// context-aware solvers. SAT search nodes are cheap (a few map lookups
+// or watch moves each), so polling every node would dominate; polling
+// every CheckNodes keeps the poll cost amortized to noise while bounding
+// cancellation latency to one batch of nodes — the same amortization the
+// join engines use (governor.CheckEvery) at tuple granularity.
+const CheckNodes = 1024
+
+// ContextSolver is a Solver whose search honors a context: deadlines and
+// cancellation abort the search within CheckNodes steps, surfacing as
+// the resource governor's sentinels (governor.ErrDeadline,
+// governor.ErrCanceled) so SAT timeouts and query timeouts are the same
+// errors.Is family throughout the module.
+type ContextSolver interface {
+	Solver
+	// SolveContext is Solve under ctx.
+	SolveContext(ctx context.Context, f *cnf.Formula) (sat bool, model cnf.Assignment, err error)
+}
+
+// SolveContext decides f with s under ctx. Solvers implementing
+// ContextSolver are polled mid-search; any other Solver is checked
+// before and after its (uninterruptible) run, so a pre-expired context
+// never starts the search and a result computed after expiry is
+// discarded in favor of the typed error.
+func SolveContext(ctx context.Context, s Solver, f *cnf.Formula) (bool, cnf.Assignment, error) {
+	if cs, ok := s.(ContextSolver); ok {
+		return cs.SolveContext(ctx, f)
+	}
+	if err := gateFor(ctx).check(); err != nil {
+		return false, nil, err
+	}
+	sat, model, err := s.Solve(f)
+	if err != nil {
+		return false, nil, err
+	}
+	if err := gateFor(ctx).check(); err != nil {
+		return false, nil, err
+	}
+	return sat, model, nil
+}
+
+// SatisfiableContext decides f with the default solver (DPLL) under ctx.
+func SatisfiableContext(ctx context.Context, f *cnf.Formula) (bool, cnf.Assignment, error) {
+	return DPLL{}.SolveContext(ctx, f)
+}
+
+// ctxGate polls a context once per CheckNodes ticks. A nil gate (no
+// cancelable context) reduces every call to one pointer test, keeping
+// the non-governed solve paths at full speed.
+type ctxGate struct {
+	ctx   context.Context
+	nodes int
+}
+
+// gateFor returns a gate for ctx, or nil when ctx can never expire
+// (nil, Background, or any context without deadline or cancel).
+func gateFor(ctx context.Context) *ctxGate {
+	if ctx == nil || ctx.Done() == nil {
+		return nil
+	}
+	return &ctxGate{ctx: ctx}
+}
+
+// tick counts one search step and polls the context on batch
+// boundaries.
+func (g *ctxGate) tick() error {
+	if g == nil {
+		return nil
+	}
+	g.nodes++
+	if g.nodes%CheckNodes != 0 {
+		return nil
+	}
+	return g.check()
+}
+
+// check polls the context now, mapping expiry onto the governor's
+// sentinels.
+func (g *ctxGate) check() error {
+	if g == nil {
+		return nil
+	}
+	if g.ctx.Err() != nil {
+		return governor.WrapContextErr(context.Cause(g.ctx))
+	}
+	return nil
+}
+
+var (
+	_ ContextSolver = DPLL{}
+	_ ContextSolver = WatchedDPLL{}
+	_ ContextSolver = BruteForce{}
+)
+
+// SolveContext implements ContextSolver: the recursive search polls ctx
+// at every CheckNodes-th node.
+func (d DPLL) SolveContext(ctx context.Context, f *cnf.Formula) (bool, cnf.Assignment, error) {
+	s := newState(f)
+	s.gate = gateFor(ctx)
+	sat := solve(s)
+	if s.err != nil {
+		return false, nil, s.err
+	}
+	if sat {
+		return true, s.model(), nil
+	}
+	return false, nil, nil
+}
+
+// SolveContext implements ContextSolver: the iterative search loop polls
+// ctx at every CheckNodes-th propagation-or-decision round.
+func (w WatchedDPLL) SolveContext(ctx context.Context, f *cnf.Formula) (bool, cnf.Assignment, error) {
+	return w.solveGated(f, gateFor(ctx))
+}
+
+// SolveContext implements ContextSolver: enumeration polls ctx at every
+// CheckNodes-th assignment.
+func (b BruteForce) SolveContext(ctx context.Context, f *cnf.Formula) (bool, cnf.Assignment, error) {
+	gate := gateFor(ctx)
+	if f.NumVars > MaxBruteVars {
+		// Delegate for the uniform too-many-variables error.
+		return b.Solve(f)
+	}
+	a := cnf.NewAssignment(f.NumVars)
+	for mask := uint64(0); ; mask++ {
+		if err := gate.tick(); err != nil {
+			return false, nil, err
+		}
+		a.FromBits(mask)
+		if f.Eval(a) {
+			return true, a.Clone(), nil
+		}
+		if f.NumVars == 0 || mask == (uint64(1)<<uint(f.NumVars))-1 {
+			break
+		}
+	}
+	return false, nil, nil
+}

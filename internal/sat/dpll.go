@@ -22,6 +22,13 @@ func (DPLL) Solve(f *cnf.Formula) (bool, cnf.Assignment, error) {
 }
 
 func solve(s *state) bool {
+	if s.err != nil {
+		return false
+	}
+	if err := s.gate.tick(); err != nil {
+		s.err = err
+		return false
+	}
 	ok, trail := s.propagate()
 	if !ok {
 		s.undo(trail)

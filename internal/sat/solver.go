@@ -80,6 +80,12 @@ type state struct {
 	clauses []cnf.Clause
 	assign  []value // 1-indexed: assign[v] for variable v
 	numVars int
+
+	// gate, when non-nil, is polled once per search node; err latches the
+	// context error that aborted the search (the recursion unwinds through
+	// boolean returns, so the error travels out of band).
+	gate *ctxGate
+	err  error
 }
 
 func newState(f *cnf.Formula) *state {

@@ -21,7 +21,13 @@ type WatchedDPLL struct{}
 func (WatchedDPLL) Name() string { return "watched" }
 
 // Solve implements Solver.
-func (WatchedDPLL) Solve(f *cnf.Formula) (bool, cnf.Assignment, error) {
+func (w WatchedDPLL) Solve(f *cnf.Formula) (bool, cnf.Assignment, error) {
+	return w.solveGated(f, nil)
+}
+
+// solveGated is the shared search driver; a nil gate means no context to
+// honor.
+func (WatchedDPLL) solveGated(f *cnf.Formula, gate *ctxGate) (bool, cnf.Assignment, error) {
 	s, sat, err := newWatchedSolver(f)
 	if err != nil {
 		return false, nil, err
@@ -29,6 +35,7 @@ func (WatchedDPLL) Solve(f *cnf.Formula) (bool, cnf.Assignment, error) {
 	if !sat {
 		return false, nil, nil
 	}
+	s.gate = gate
 	// Assert the initial unit clauses; they are forced at the root, so a
 	// conflict here (or while propagating them) is final.
 	for _, l := range s.initUnits {
@@ -41,7 +48,11 @@ func (WatchedDPLL) Solve(f *cnf.Formula) (bool, cnf.Assignment, error) {
 			return false, nil, nil
 		}
 	}
-	if s.search() {
+	found := s.search()
+	if s.err != nil {
+		return false, nil, s.err
+	}
+	if found {
 		return true, s.modelOut(), nil
 	}
 	return false, nil, nil
@@ -64,6 +75,11 @@ type watchedSolver struct {
 	queue     []cnf.Lit // propagation queue of literals just made true
 	initUnits []cnf.Lit // unit clauses, asserted before the search starts
 	varOrder  []int     // static decision order, most frequent first
+
+	// gate, when non-nil, is polled once per search round; err latches
+	// the context error that stopped the search.
+	gate *ctxGate
+	err  error
 }
 
 // newWatchedSolver loads the formula: deduplicates literals, drops
@@ -209,6 +225,10 @@ func (s *watchedSolver) propagate() bool {
 // search runs the DPLL loop: propagate, decide, backtrack on conflict.
 func (s *watchedSolver) search() bool {
 	for {
+		if err := s.gate.tick(); err != nil {
+			s.err = err
+			return false
+		}
 		if !s.propagate() {
 			if !s.backtrack() {
 				return false

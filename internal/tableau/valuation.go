@@ -3,6 +3,7 @@ package tableau
 import (
 	"fmt"
 
+	"relquery/internal/governor"
 	"relquery/internal/relation"
 )
 
@@ -48,6 +49,13 @@ type valuationSearch struct {
 	binding map[Var]relation.Value
 	done    []bool
 	opts    SearchOptions
+	// gov, when non-nil, is polled at every search node: the valuation
+	// tree is the paper's exponential object, so without a checkpoint
+	// inside it a deadline or cancellation could never interrupt a
+	// membership test. govErr latches the violation that stopped the
+	// search.
+	gov    *governor.Governor
+	govErr error
 }
 
 // searchRow is one tableau row reduced to its relevant positions.
@@ -185,6 +193,10 @@ func (s *valuationSearch) pickRow() (best int, failed bool) {
 // returns false to stop the search. run reports whether the search ran to
 // completion (false means yield stopped it).
 func (s *valuationSearch) run(yield func() bool) bool {
+	if err := s.gov.Tick(); err != nil {
+		s.govErr = err
+		return false
+	}
 	var i int
 	if s.opts.StaticOrder {
 		i = -1
@@ -252,6 +264,15 @@ func (s *valuationSearch) summaryTuple() relation.Tuple {
 // the summary to t and search for a valuation (the NP guess, realized as
 // backtracking).
 func (t *Tableau) Member(nt relation.NamedTuple, db relation.Database) (bool, error) {
+	return t.MemberGov(nt, db, nil)
+}
+
+// MemberGov is Member under a governor: the backtracking search polls
+// gov at every node, so a deadline, cancellation or sticky failure
+// aborts the (potentially exponential) valuation search with the typed
+// violation instead of running it to exhaustion. A nil governor is the
+// ungoverned Member.
+func (t *Tableau) MemberGov(nt relation.NamedTuple, db relation.Database, gov *governor.Governor) (bool, error) {
 	if !nt.Scheme.Equal(t.Target) {
 		return false, fmt.Errorf("tableau: tuple scheme %v does not match target %v", nt.Scheme, t.Target)
 	}
@@ -259,6 +280,7 @@ func (t *Tableau) Member(nt relation.NamedTuple, db relation.Database) (bool, er
 	if err != nil {
 		return false, err
 	}
+	s.gov = gov
 	// Pre-bind summary variables to the tuple's values. Two target
 	// attributes may share a summary variable; conflicting requirements
 	// mean the tuple cannot be in the result.
@@ -276,6 +298,9 @@ func (t *Tableau) Member(nt relation.NamedTuple, db relation.Database) (bool, er
 		found = true
 		return false
 	})
+	if s.govErr != nil {
+		return false, s.govErr
+	}
 	return found, nil
 }
 
@@ -286,7 +311,23 @@ func (t *Tableau) Member(nt relation.NamedTuple, db relation.Database) (bool, er
 // searching for a witness (e.g. "is there a result tuple outside r?") can
 // stop early by returning false.
 func (t *Tableau) Stream(db relation.Database, yield func(relation.Tuple) bool) error {
-	return t.StreamWith(db, SearchOptions{}, yield)
+	return t.StreamGov(db, nil, yield)
+}
+
+// StreamGov is Stream under a governor, polled at every search node: a
+// violation aborts the enumeration — including time spent in dead
+// branches between yields, which per-yield checkpoints cannot see — and
+// surfaces as the typed error. A nil governor is the ungoverned Stream.
+func (t *Tableau) StreamGov(db relation.Database, gov *governor.Governor, yield func(relation.Tuple) bool) error {
+	s, err := newSearch(t, db)
+	if err != nil {
+		return err
+	}
+	s.gov = gov
+	s.run(func() bool {
+		return yield(s.summaryTuple())
+	})
+	return s.govErr
 }
 
 // StreamWith is Stream with explicit search options — the ablation hook.
