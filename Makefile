@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench wcoj-bench acyclic-bench bench-diff fault-bench stress trace fmt lint ci
+.PHONY: build test race bench wcoj-bench acyclic-bench obs-bench bench-diff fault-bench stress trace fmt lint ci
 
 build:
 	$(GO) build ./...
@@ -52,15 +52,43 @@ acyclic-bench:
 	  $(GO) test -run '^$$' -bench 'AcyclicYannakakis|FullReducerDirect' -benchtime 10x -count 1 -benchmem .; \
 	} | tee BENCH_acyclic.txt
 
-# Compare freshly-generated bench output against the committed baselines,
-# failing on a >20% regression of any configuration's peak_rows. This is
-# the check the CI bench-regression job runs.
+# Regenerate BENCH_obs.txt: the observability layer's cost on the E9
+# gadget families — the nil-collector fast path (sequential/parallel
+# configs), tracing (-traced), and the process-wide telemetry registry
+# publish (-registry, ISSUE 8). The zero-overhead contract says the
+# untraced configurations must stay at the engine's raw speed; the
+# registry variant bounds the per-evaluation cost of feeding /metrics.
+obs-bench:
+	{ \
+	  echo "Observability overhead on the E9 families (ISSUE 3 / ISSUE 8 acceptance)"; \
+	  echo "========================================================================"; \
+	  echo; \
+	  echo "Regenerate with: make obs-bench"; \
+	  echo "sequential/parallel-* run with no Collector (the production"; \
+	  echo "fast path); *-traced attach a fresh obs.Collector per eval;"; \
+	  echo "parallel-8-registry additionally publishes every evaluation"; \
+	  echo "into a process-wide obs.Registry (histograms + trace ring),"; \
+	  echo "the path behind the telemetry server's /metrics endpoint."; \
+	  echo; \
+	  $(GO) test -run '^$$' -bench 'E9ParallelEval' -benchtime 10x -count 1 -benchmem .; \
+	} | tee BENCH_obs.txt
+
+# Compare freshly-generated bench output against the committed baselines.
+# peak_rows gates the join-strategy files at >20% (deterministic row
+# counts); ns/op gates the obs/fault overhead files at >200% — wall time
+# is machine-noisy, so the gate only catches contract-breaking changes
+# (a lock or allocation on a nil fast path is a 10x+ jump, not 3x). This
+# is the check the CI bench-regression job runs.
 bench-diff:
 	cp BENCH_wcoj.txt /tmp/bench_wcoj_base.txt
 	cp BENCH_acyclic.txt /tmp/bench_acyclic_base.txt
-	$(MAKE) wcoj-bench acyclic-bench
+	cp BENCH_obs.txt /tmp/bench_obs_base.txt
+	cp BENCH_fault.txt /tmp/bench_fault_base.txt
+	$(MAKE) wcoj-bench acyclic-bench obs-bench fault-bench
 	$(GO) run ./cmd/benchdiff -metric peak_rows -max-regress 20 -report agm_bound /tmp/bench_wcoj_base.txt BENCH_wcoj.txt
 	$(GO) run ./cmd/benchdiff -metric peak_rows -max-regress 20 -report agm_bound /tmp/bench_acyclic_base.txt BENCH_acyclic.txt
+	$(GO) run ./cmd/benchdiff -metric ns/op -max-regress 200 /tmp/bench_obs_base.txt BENCH_obs.txt
+	$(GO) run ./cmd/benchdiff -metric ns/op -max-regress 200 /tmp/bench_fault_base.txt BENCH_fault.txt
 
 # Fault-injection stress matrix, race-enabled: the governor and fault
 # harness suites in full, then every injected failure path — cancel

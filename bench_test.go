@@ -361,23 +361,32 @@ func BenchmarkE9ParallelEval(b *testing.B) {
 		}
 		db := c.Database()
 		for _, cfg := range []struct {
-			name   string
-			opts   algebra.EvalOptions
-			traced bool
+			name     string
+			opts     algebra.EvalOptions
+			traced   bool
+			registry bool
 		}{
-			{"sequential", algebra.EvalOptions{}, false},
-			{"parallel-1", algebra.EvalOptions{Parallelism: 1}, false},
-			{"parallel-8", algebra.EvalOptions{Parallelism: 8}, false},
-			{"parallel-8-cache", algebra.EvalOptions{Parallelism: 8, Cache: true}, false},
-			{"sequential-traced", algebra.EvalOptions{}, true},
-			{"parallel-8-traced", algebra.EvalOptions{Parallelism: 8}, true},
+			{"sequential", algebra.EvalOptions{}, false, false},
+			{"parallel-1", algebra.EvalOptions{Parallelism: 1}, false, false},
+			{"parallel-8", algebra.EvalOptions{Parallelism: 8}, false, false},
+			{"parallel-8-cache", algebra.EvalOptions{Parallelism: 8, Cache: true}, false, false},
+			{"sequential-traced", algebra.EvalOptions{}, true, false},
+			{"parallel-8-traced", algebra.EvalOptions{Parallelism: 8}, true, false},
+			// The -registry variant adds the process-wide telemetry
+			// publish (histograms + totals fold + trace ring) on top of
+			// tracing — the cost of feeding /metrics, per evaluation.
+			{"parallel-8-registry", algebra.EvalOptions{Parallelism: 8}, true, true},
 		} {
+			reg := obs.NewRegistry()
 			b.Run(fmt.Sprintf("%s/%s", fam.name, cfg.name), func(b *testing.B) {
 				b.ReportAllocs()
 				for i := 0; i < b.N; i++ {
 					opts := cfg.opts
 					if cfg.traced {
 						opts.Collector = &obs.Collector{}
+					}
+					if cfg.registry {
+						opts.Registry = reg
 					}
 					ev := opts.NewEvaluator()
 					ev.Order = join.Greedy

@@ -15,9 +15,12 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"relquery/internal/core"
 	"relquery/internal/governor"
+	"relquery/internal/obs"
+	"relquery/internal/telemetry"
 )
 
 func main() {
@@ -38,6 +41,9 @@ func run(args []string) error {
 		trace   = fs.String("trace", "", "write a JSON evaluation trace from tracing-aware experiments (E7) to this file")
 		timeout = fs.String("timeout", "", "wall-clock deadline per governed evaluation (duration or seconds; empty or 0 = none)")
 		maxRows = fs.String("max-rows", "", "row budget per governed evaluation (optional k/m/g suffix; 0 = unlimited)")
+		serve   = fs.String("serve", "", "serve telemetry over HTTP on this address (host:port) while the suite runs: /metrics, /debug/pprof/, /debug/traces")
+		linger  = fs.Duration("serve-linger", 0, "keep the -serve endpoints up this long after the suite finishes")
+		metrics = fs.Bool("metrics", false, "print the aggregated telemetry registry (evals, violation counters, cross-run totals) to stderr after the run")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -75,5 +81,33 @@ func run(args []string) error {
 		defer f.Close()
 		cfg.Trace = f
 	}
-	return core.Run(ids, cfg)
+	if *linger < 0 {
+		return fmt.Errorf("-serve-linger must be non-negative, got %v", *linger)
+	}
+	if *linger > 0 && *serve == "" {
+		return fmt.Errorf("-serve-linger requires -serve")
+	}
+	if *serve != "" || *metrics {
+		cfg.Registry = obs.NewRegistry()
+	}
+	if *serve != "" {
+		srv, err := telemetry.Start(*serve, cfg.Registry)
+		if err != nil {
+			return fmt.Errorf("-serve: %w", err)
+		}
+		fmt.Fprintf(os.Stderr, "telemetry: serving http://%s/metrics\n", srv.Addr())
+		defer srv.Close()
+		defer func() {
+			if *linger > 0 {
+				fmt.Fprintf(os.Stderr, "telemetry: lingering %s before shutdown\n", *linger)
+				time.Sleep(*linger)
+			}
+		}()
+	}
+	err = core.Run(ids, cfg)
+	if *metrics {
+		s := cfg.Registry.Snapshot()
+		fmt.Fprintf(os.Stderr, "registry: evals=%d traces=%d %s\n", s.Evals, s.TracesHeld, s.Metrics.String())
+	}
+	return err
 }

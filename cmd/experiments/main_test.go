@@ -31,3 +31,20 @@ func TestRunCatalog(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestRunE7WithTelemetry(t *testing.T) {
+	// -serve with port 0 plus -metrics exercises the registry publish,
+	// the server lifecycle and the stderr summary in one quick E7 run.
+	if err := run([]string{"-run", "E7", "-quick", "-serve", "127.0.0.1:0", "-metrics"}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRunTelemetryFlagErrors(t *testing.T) {
+	if err := run([]string{"-run", "E0", "-quick", "-serve-linger", "1s"}); err == nil {
+		t.Error("-serve-linger without -serve accepted")
+	}
+	if err := run([]string{"-run", "E0", "-quick", "-serve", "127.0.0.1:0", "-serve-linger", "-1s"}); err == nil {
+		t.Error("negative -serve-linger accepted")
+	}
+}

@@ -15,10 +15,12 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"time"
 
 	"relquery/internal/algebra"
 	"relquery/internal/governor"
@@ -26,6 +28,7 @@ import (
 	"relquery/internal/obs"
 	"relquery/internal/relation"
 	"relquery/internal/tableau"
+	"relquery/internal/telemetry"
 )
 
 func main() {
@@ -60,6 +63,9 @@ func run(args []string) error {
 		maxRows   = fs.String("max-rows", "", "abort when the final result exceeds this many rows (optional k/m/g suffix; 0 = unlimited)")
 		admit     = fs.Bool("admit", false, "pre-flight admission control: reject a join whose predicted peak intermediate exceeds -budget instead of running it (output-bounded strategies are always admitted)")
 		degrade   = fs.Bool("degrade", false, "graceful degradation: retry a failed wcoj/yannakakis join node once on the greedy binary path")
+		serveAddr = fs.String("serve", "", "serve telemetry over HTTP on this address (host:port) for the duration of the run: /metrics (Prometheus text), /debug/pprof/, /debug/traces (Chrome trace-event JSON)")
+		linger    = fs.Duration("serve-linger", 0, "keep the -serve endpoints up this long after evaluation finishes, so the final state can be scraped or loaded in Perfetto")
+		traceFmt  = fs.String("trace-format", "json", "format for -trace output: json (span tree + metrics) or chrome (trace-event JSON loadable in Perfetto or chrome://tracing)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -96,8 +102,17 @@ func run(args []string) error {
 	if *engine != "materialize" && *engine != "tableau" {
 		return usageError(fs, "-engine: unknown engine %q (want materialize or tableau)", *engine)
 	}
-	if *engine == "tableau" && (*analyze || *tracePath != "" || *metrics) {
-		return usageError(fs, "-explain-analyze, -trace and -metrics require -engine materialize")
+	if *engine == "tableau" && (*analyze || *tracePath != "" || *metrics || *serveAddr != "") {
+		return usageError(fs, "-explain-analyze, -trace, -metrics and -serve require -engine materialize")
+	}
+	if *traceFmt != "json" && *traceFmt != "chrome" {
+		return usageError(fs, "-trace-format: unknown format %q (want json or chrome)", *traceFmt)
+	}
+	if *linger < 0 {
+		return usageError(fs, "-serve-linger must be non-negative, got %v", *linger)
+	}
+	if *linger > 0 && *serveAddr == "" {
+		return usageError(fs, "-serve-linger requires -serve")
 	}
 	if *engine == "tableau" && (*timeout != "" || *maxRows != "" || *admit || *degrade) {
 		return usageError(fs, "-timeout, -max-rows, -admit and -degrade require -engine materialize")
@@ -187,9 +202,11 @@ func run(args []string) error {
 		})
 		// Attach a collector only when some observability output was
 		// requested: a nil collector keeps the engine on its
-		// zero-overhead fast path.
+		// zero-overhead fast path. -serve implies one — the telemetry
+		// endpoints are only interesting with metrics and traces behind
+		// them.
 		var collector *obs.Collector
-		if *analyze || *tracePath != "" || *metrics || *stats {
+		if *analyze || *tracePath != "" || *metrics || *stats || *serveAddr != "" {
 			collector = &obs.Collector{}
 		}
 		ev := algebra.Evaluator{
@@ -208,6 +225,24 @@ func run(args []string) error {
 		if opts.Parallelism > 1 && !joinFlagSet {
 			ev.Algorithm = nil
 		}
+		if *serveAddr != "" {
+			ev.Registry = obs.NewRegistry()
+			srv, err := telemetry.Start(*serveAddr, ev.Registry)
+			if err != nil {
+				return fmt.Errorf("-serve: %w", err)
+			}
+			fmt.Fprintf(os.Stderr, "telemetry: serving http://%s/metrics\n", srv.Addr())
+			defer srv.Close()
+			// Lingering runs before the deferred Close (LIFO), on success
+			// and error paths alike — a governor kill is exactly when the
+			// endpoints are worth a look.
+			defer func() {
+				if *linger > 0 {
+					fmt.Fprintf(os.Stderr, "telemetry: lingering %s before shutdown\n", *linger)
+					time.Sleep(*linger)
+				}
+			}()
+		}
 		stopProfiles, err := startProfiles(*pprofPre)
 		if err != nil {
 			return err
@@ -219,7 +254,7 @@ func run(args []string) error {
 		// The trace is worth emitting even when evaluation aborts (a
 		// budget abort's partial spans show where the blow-up happened).
 		if *tracePath != "" {
-			if terr := writeTrace(*tracePath, collector.Trace()); terr != nil && err == nil {
+			if terr := writeTrace(*tracePath, *traceFmt, collector.Trace()); terr != nil && err == nil {
 				err = terr
 			}
 		}
@@ -285,16 +320,23 @@ func usageError(fs *flag.FlagSet, format string, args ...any) error {
 	return fmt.Errorf(format, args...)
 }
 
-// writeTrace writes the JSON trace to path ("-" for stdout).
-func writeTrace(path string, t *obs.Trace) error {
+// writeTrace writes the trace to path ("-" for stdout) in the requested
+// format: the native JSON span tree, or Chrome trace-event JSON.
+func writeTrace(path, format string, t *obs.Trace) error {
+	write := t.WriteJSON
+	if format == "chrome" {
+		write = func(w io.Writer) error {
+			return telemetry.WriteChromeTrace(w, []*obs.Trace{t})
+		}
+	}
 	if path == "-" {
-		return t.WriteJSON(os.Stdout)
+		return write(os.Stdout)
 	}
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
-	if err := t.WriteJSON(f); err != nil {
+	if err := write(f); err != nil {
 		f.Close()
 		return err
 	}

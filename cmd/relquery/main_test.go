@@ -208,3 +208,61 @@ func TestRunContains(t *testing.T) {
 		t.Error("arity mismatch accepted")
 	}
 }
+
+func TestRunTraceFormatChrome(t *testing.T) {
+	db := writeFile(t, "db.rel", testDB)
+	tracePath := filepath.Join(t.TempDir(), "trace.chrome.json")
+	if err := run([]string{"-db", db, "-query", "pi[A C](pi[A B](T) * pi[B C](T))",
+		"-trace", tracePath, "-trace-format", "chrome", "-count"}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded struct {
+		TraceEvents []struct {
+			Ph string `json:"ph"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &decoded); err != nil {
+		t.Fatalf("-trace-format=chrome output is not valid JSON: %v\n%s", err, data)
+	}
+	if len(decoded.TraceEvents) == 0 {
+		t.Fatal("chrome trace has no events")
+	}
+	var complete int
+	for _, ev := range decoded.TraceEvents {
+		if ev.Ph == "X" {
+			complete++
+		}
+	}
+	if complete == 0 {
+		t.Error("chrome trace has no complete (X) events")
+	}
+}
+
+func TestRunServe(t *testing.T) {
+	db := writeFile(t, "db.rel", testDB)
+	// Port 0 picks a free port; the run exercises the registry publish
+	// and server lifecycle without an external scraper.
+	if err := run([]string{"-db", db, "-query", "pi[A B](T) * pi[B C](T)",
+		"-serve", "127.0.0.1:0", "-count"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunTelemetryFlagErrors(t *testing.T) {
+	db := writeFile(t, "db.rel", testDB)
+	cases := [][]string{
+		{"-db", db, "-query", "T", "-trace", "-", "-trace-format", "bogus"},
+		{"-db", db, "-query", "T", "-engine", "tableau", "-serve", "127.0.0.1:0"},
+		{"-db", db, "-query", "T", "-serve-linger", "1s"}, // linger without serve
+		{"-db", db, "-query", "T", "-serve", "127.0.0.1:0", "-serve-linger", "-1s"},
+	}
+	for i, args := range cases {
+		if err := run(args); err == nil {
+			t.Errorf("case %d (%v): no error", i, args)
+		}
+	}
+}

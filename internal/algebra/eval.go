@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"time"
 
 	"relquery/internal/fault"
 	"relquery/internal/governor"
@@ -34,6 +35,9 @@ type EvalOptions struct {
 	// Collector, when non-nil, traces the evaluation (see
 	// Evaluator.Collector).
 	Collector *obs.Collector
+	// Registry, when non-nil, receives each evaluation's outcome for
+	// process-wide telemetry (see Evaluator.Registry).
+	Registry *obs.Registry
 	// Limits bounds the evaluation — deadline, row budgets, memory model
 	// (see Evaluator.Limits). The zero Limits is unlimited.
 	Limits governor.Limits
@@ -52,6 +56,7 @@ func (o EvalOptions) NewEvaluator() *Evaluator {
 		AutoWCOJ:       o.AutoWCOJ,
 		AutoYannakakis: o.AutoYannakakis,
 		Collector:      o.Collector,
+		Registry:       o.Registry,
 		Limits:         o.Limits,
 		Admit:          o.Admit,
 		Degrade:        o.Degrade,
@@ -158,6 +163,13 @@ type Evaluator struct {
 	// join.Stats shim): it observes everything Stats did and more, with
 	// race-free mid-run snapshots (Collector.Metrics.Snapshot).
 	Collector *obs.Collector
+	// Registry, when non-nil, aggregates every EvalContext outcome —
+	// success or violation — into process-wide telemetry: wall time into
+	// the latency histogram and, when a Collector is also attached, the
+	// trace's metrics and span tree into the cross-evaluation totals and
+	// the /debug/traces ring. Nil (the zero value) publishes nothing and
+	// costs one nil check per evaluation.
+	Registry *obs.Registry
 }
 
 // ErrBudgetExceeded is returned (wrapped) when evaluation exceeds the
@@ -229,7 +241,11 @@ func (ev *Evaluator) Eval(e Expr, db relation.Database) (*relation.Relation, err
 // died. A background context with zero Limits keeps the whole governance
 // layer on its nil fast path.
 func (ev *Evaluator) EvalContext(ctx context.Context, e Expr, db relation.Database) (*relation.Relation, error) {
-	gov := governor.New(ctx, ev.limits())
+	var start time.Time
+	if ev.Registry != nil {
+		start = time.Now() // clock read only when telemetry is on
+	}
+	gov := governor.New(ctx, ev.limits()).WithMetrics(ev.Collector.M())
 	var memo *memoTable
 	if ev.Cache {
 		memo = newMemoTable()
@@ -237,6 +253,9 @@ func (ev *Evaluator) EvalContext(ctx context.Context, e Expr, db relation.Databa
 	r, err := ev.eval(e, db, memo, ev.newSpan(nil, e), gov)
 	if err == nil {
 		err = gov.CheckOutput(r.Len())
+	}
+	if ev.Registry != nil {
+		ev.Registry.Observe(ev.Collector.Trace(), time.Since(start))
 	}
 	if err != nil {
 		return nil, ev.violation(err)

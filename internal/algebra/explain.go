@@ -142,6 +142,15 @@ func RenderTrace(t *obs.Trace) string {
 	for _, root := range t.Roots {
 		renderSpan(&b, root, "", "")
 	}
+	// Governance footer, only when the governor actually intervened —
+	// clean evaluations keep the classic tree-only output.
+	if m := t.Metrics; m.ViolationsTotal()+m.DegradedEvals > 0 {
+		b.WriteString("governor: violations")
+		for _, vc := range m.ViolationCounts() {
+			fmt.Fprintf(&b, " %s=%d", vc.Kind, vc.Count)
+		}
+		fmt.Fprintf(&b, " degraded=%d\n", m.DegradedEvals)
+	}
 	return b.String()
 }
 

@@ -61,7 +61,7 @@ func runE7(cfg *Config) error {
 		// join.Stats here.)
 		measure := func(order join.Order) (string, int, *obs.Trace) {
 			col := &obs.Collector{}
-			ev := algebra.Evaluator{Order: order, MaxIntermediate: budget, Collector: col, Limits: cfg.Limits}
+			ev := algebra.Evaluator{Order: order, MaxIntermediate: budget, Collector: col, Limits: cfg.Limits, Registry: cfg.Registry}
 			_, err := ev.Eval(phi, c.Database())
 			if err != nil {
 				if errors.Is(err, algebra.ErrBudgetExceeded) {

@@ -7,6 +7,7 @@ import (
 	"text/tabwriter"
 
 	"relquery/internal/governor"
+	"relquery/internal/obs"
 )
 
 // Config parameterizes an experiment run.
@@ -28,6 +29,11 @@ type Config struct {
 	// the CLI's -timeout / -max-rows. A killed measurement is reported
 	// in the table ("timeout", ">budget") instead of failing the run.
 	Limits governor.Limits
+	// Registry, when non-nil, aggregates every materializing evaluation
+	// of registry-aware experiments (currently E7) into process-wide
+	// telemetry — latency and blow-up histograms, violation counters —
+	// behind the CLI's -serve endpoints and -metrics summary.
+	Registry *obs.Registry
 }
 
 // Experiment is one reproducible experiment from EXPERIMENTS.md.

@@ -75,6 +75,12 @@ var (
 	enabled atomic.Bool
 	mu      sync.Mutex
 	current Injector
+	// firings counts crossings delivered to an injector, per point
+	// (Point -> *atomic.Int64). Process-global and monotonic, like the
+	// registry itself; the telemetry exporter reads it so chaos runs show
+	// where faults actually landed. Only the slow path touches it — with
+	// no injector registered the counters stay frozen at zero cost.
+	firings sync.Map
 )
 
 // Hit marks the engine crossing point p. With no injector registered it
@@ -93,8 +99,23 @@ func fire(p Point) {
 	inj := current
 	mu.Unlock()
 	if inj != nil {
+		v, _ := firings.LoadOrStore(p, new(atomic.Int64))
+		v.(*atomic.Int64).Add(1)
 		inj.Fire(p)
 	}
+}
+
+// Firings snapshots the process-wide count of injection-point crossings
+// delivered to an injector, per point. Points never crossed under an
+// injector are absent. The counters are monotonic for the process
+// lifetime — consumers needing a window take deltas.
+func Firings() map[Point]int64 {
+	out := map[Point]int64{}
+	firings.Range(func(k, v any) bool {
+		out[k.(Point)] = v.(*atomic.Int64).Load()
+		return true
+	})
+	return out
 }
 
 // Set installs inj as the process-wide injector and returns a func

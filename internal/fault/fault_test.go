@@ -162,3 +162,24 @@ func BenchmarkHitEnabledNoMatch(b *testing.B) {
 		Hit(JoinBatch)
 	}
 }
+
+// TestFiringsCounted: crossings delivered to an injector increment the
+// process-wide per-point firing counters; disabled crossings do not. The
+// counters are global and monotonic, so the test asserts deltas.
+func TestFiringsCounted(t *testing.T) {
+	before := Firings()
+	Hit(JoinBatch) // no injector: must not count
+	restore := Set(NewScript())
+	Hit(JoinBatch)
+	Hit(JoinBatch)
+	Hit(WCOJSearch)
+	restore()
+	Hit(JoinBatch) // injector gone again: must not count
+	after := Firings()
+	if got := after[JoinBatch] - before[JoinBatch]; got != 2 {
+		t.Errorf("JoinBatch firings delta = %d, want 2", got)
+	}
+	if got := after[WCOJSearch] - before[WCOJSearch]; got != 1 {
+		t.Errorf("WCOJSearch firings delta = %d, want 1", got)
+	}
+}

@@ -109,6 +109,10 @@ type Governor struct {
 	limits   Limits
 	deadline time.Time // zero when no deadline applies
 
+	// metrics, when non-nil, receives one Violation count — keyed by the
+	// sentinel that tripped — when the sticky failure latch first trips.
+	metrics *obs.Metrics
+
 	ticks atomic.Int64
 	bytes atomic.Int64
 	// failure holds the first violation (*governedErr) once tripped.
@@ -166,11 +170,50 @@ func (g *Governor) Err() error {
 	return nil
 }
 
-// fail records err as the sticky violation (first writer wins) and
-// returns the violation in effect.
+// WithMetrics attaches an obs.Metrics to the governor: when the sticky
+// failure latch first trips on a governance sentinel, the matching
+// violation counter is incremented — exactly once per evaluation, so the
+// counters read as "evaluations killed, by sentinel" and an admission
+// rejection is as visible as a mid-flight kill. A nil governor or nil
+// metrics passes through unchanged, preserving the zero-overhead path.
+// WithMetrics returns its receiver for call chaining; it must be called
+// before the governor is shared across goroutines.
+func (g *Governor) WithMetrics(m *obs.Metrics) *Governor {
+	if g == nil || m == nil {
+		return g
+	}
+	g.metrics = m
+	return g
+}
+
+// violationKind maps a violation chain to its obs counter kind, or ""
+// for non-sentinel errors (Fail broadcasts engine errors too — those are
+// failures, not governance violations).
+func violationKind(err error) string {
+	switch {
+	case errors.Is(err, ErrDeadline):
+		return obs.ViolationDeadline
+	case errors.Is(err, ErrCanceled):
+		return obs.ViolationCanceled
+	case errors.Is(err, ErrRowBudget):
+		return obs.ViolationRowBudget
+	case errors.Is(err, ErrMemBudget):
+		return obs.ViolationMemBudget
+	case errors.Is(err, ErrAdmission):
+		return obs.ViolationAdmission
+	default:
+		return ""
+	}
+}
+
+// fail records err as the sticky violation (first writer wins), counts
+// it into the attached metrics, and returns the violation in effect.
 func (g *Governor) fail(err error) error {
 	ge := &governedErr{err: err}
 	if g.failure.CompareAndSwap(nil, ge) {
+		if kind := violationKind(err); kind != "" {
+			g.metrics.Violation(kind)
+		}
 		return err
 	}
 	return g.failure.Load().err

@@ -219,3 +219,79 @@ func TestStickyAcrossGoroutines(t *testing.T) {
 		}
 	}
 }
+
+// TestViolationCounting: each evaluation counts its violation exactly
+// once, keyed by the sentinel that tripped, even though the sticky latch
+// keeps re-reporting the same error at every later checkpoint.
+func TestViolationCounting(t *testing.T) {
+	var m obs.Metrics
+
+	// Row-budget trip: repeated checkpoints after the trip must not
+	// double-count.
+	g := New(context.Background(), Limits{MaxIntermediateRows: 10}).WithMetrics(&m)
+	if err := g.CheckRows(11); !errors.Is(err, ErrRowBudget) {
+		t.Fatalf("CheckRows = %v, want ErrRowBudget", err)
+	}
+	_ = g.CheckRows(12)
+	_ = g.Tick()
+	_ = g.Err()
+
+	// Admission rejection on a second evaluation sharing the metrics.
+	g2 := New(context.Background(), Limits{MaxIntermediateRows: 10}).WithMetrics(&m)
+	if err := g2.Admit(1e6, 0); !errors.Is(err, ErrAdmission) {
+		t.Fatalf("Admit = %v, want ErrAdmission", err)
+	}
+
+	// Cancellation on a third.
+	ctx, cancel := context.WithCancel(context.Background())
+	g3 := New(ctx, Limits{}).WithMetrics(&m)
+	cancel()
+	if err := g3.Check(); !errors.Is(err, ErrCanceled) {
+		t.Fatalf("Check = %v, want ErrCanceled", err)
+	}
+
+	snap := m.Snapshot()
+	if snap.ViolationsRowBudget != 1 {
+		t.Errorf("ViolationsRowBudget = %d, want 1 (sticky latch counts once)", snap.ViolationsRowBudget)
+	}
+	if snap.ViolationsAdmission != 1 {
+		t.Errorf("ViolationsAdmission = %d, want 1", snap.ViolationsAdmission)
+	}
+	if snap.ViolationsCanceled != 1 {
+		t.Errorf("ViolationsCanceled = %d, want 1", snap.ViolationsCanceled)
+	}
+	if got := snap.ViolationsTotal(); got != 3 {
+		t.Errorf("ViolationsTotal = %d, want 3", got)
+	}
+}
+
+// TestFailEngineErrorNotCounted: Fail with a non-sentinel engine error
+// (a recovered panic, say) latches the failure but is not a governance
+// violation.
+func TestFailEngineErrorNotCounted(t *testing.T) {
+	var m obs.Metrics
+	g := New(context.Background(), Limits{MaxRows: 1}).WithMetrics(&m)
+	boom := errors.New("worker panic")
+	if err := g.Fail(boom); !errors.Is(err, boom) {
+		t.Fatalf("Fail = %v, want the engine error", err)
+	}
+	if got := m.Snapshot().ViolationsTotal(); got != 0 {
+		t.Errorf("ViolationsTotal = %d, want 0 for non-sentinel failures", got)
+	}
+}
+
+// TestWithMetricsNilSafety: WithMetrics is chainable off nil governors
+// (the ungoverned path) and tolerates nil metrics.
+func TestWithMetricsNilSafety(t *testing.T) {
+	var g *Governor
+	if got := g.WithMetrics(&obs.Metrics{}); got != nil {
+		t.Errorf("nil Governor.WithMetrics = %v, want nil", got)
+	}
+	g2 := New(context.Background(), Limits{MaxRows: 1}).WithMetrics(nil)
+	if g2 == nil {
+		t.Fatal("WithMetrics(nil) lost the governor")
+	}
+	if err := g2.CheckOutput(2); !errors.Is(err, ErrRowBudget) {
+		t.Errorf("CheckOutput = %v, want ErrRowBudget (counting disabled, checks live)", err)
+	}
+}

@@ -63,9 +63,58 @@ type Metrics struct {
 
 	degradedEvals atomic.Int64
 
+	violationDeadline  atomic.Int64
+	violationCanceled  atomic.Int64
+	violationRowBudget atomic.Int64
+	violationMemBudget atomic.Int64
+	violationAdmission atomic.Int64
+
 	cacheHits          atomic.Int64
 	cacheMisses        atomic.Int64
 	cacheInvalidations atomic.Int64
+}
+
+// Governor-violation kinds, one per sentinel in internal/governor. The
+// strings double as the Prometheus label values of
+// relquery_governor_violations_total. They live here — not in
+// internal/governor — because governor imports obs, never the reverse.
+const (
+	ViolationDeadline  = "deadline"
+	ViolationCanceled  = "canceled"
+	ViolationRowBudget = "row_budget"
+	ViolationMemBudget = "mem_budget"
+	ViolationAdmission = "admission"
+)
+
+// ViolationKinds lists every violation kind in exposition order, so
+// exporters emit a stable, complete set of series even when all counts
+// are zero.
+func ViolationKinds() []string {
+	return []string{ViolationDeadline, ViolationCanceled, ViolationRowBudget, ViolationMemBudget, ViolationAdmission}
+}
+
+// Violation records one governance violation of the given kind (a
+// Violation* constant). The governor calls it exactly once per
+// evaluation — when its sticky failure latch first trips — so the
+// counters read as "evaluations killed, by sentinel". Unknown kinds are
+// ignored: the governor's Fail broadcast also carries non-governance
+// engine errors, which are not violations.
+func (m *Metrics) Violation(kind string) {
+	if m == nil {
+		return
+	}
+	switch kind {
+	case ViolationDeadline:
+		m.violationDeadline.Add(1)
+	case ViolationCanceled:
+		m.violationCanceled.Add(1)
+	case ViolationRowBudget:
+		m.violationRowBudget.Add(1)
+	case ViolationMemBudget:
+		m.violationMemBudget.Add(1)
+	case ViolationAdmission:
+		m.violationAdmission.Add(1)
+	}
 }
 
 // ObserveJoin records one binary join producing out tuples: it counts the
@@ -234,6 +283,11 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 		Semijoins:           m.semijoins.Load(),
 		SemijoinRows:        m.semijoinRows.Load(),
 		DegradedEvals:       m.degradedEvals.Load(),
+		ViolationsDeadline:  m.violationDeadline.Load(),
+		ViolationsCanceled:  m.violationCanceled.Load(),
+		ViolationsRowBudget: m.violationRowBudget.Load(),
+		ViolationsMemBudget: m.violationMemBudget.Load(),
+		ViolationsAdmission: m.violationAdmission.Load(),
 		CacheHits:           m.cacheHits.Load(),
 		CacheMisses:         m.cacheMisses.Load(),
 		CacheInvalidations:  m.cacheInvalidations.Load(),
@@ -288,12 +342,87 @@ type MetricsSnapshot struct {
 	// DegradedEvals counts join nodes whose wcoj/yannakakis strategy
 	// failed and was retried on the greedy binary path.
 	DegradedEvals int64 `json:"degraded_evals"`
+	// ViolationsDeadline counts evaluations killed by the wall-clock
+	// deadline (governor.ErrDeadline).
+	ViolationsDeadline int64 `json:"violations_deadline"`
+	// ViolationsCanceled counts evaluations killed by context
+	// cancellation (governor.ErrCanceled).
+	ViolationsCanceled int64 `json:"violations_canceled"`
+	// ViolationsRowBudget counts evaluations killed by the row budget
+	// (governor.ErrRowBudget — intermediate or final-result cap).
+	ViolationsRowBudget int64 `json:"violations_row_budget"`
+	// ViolationsMemBudget counts evaluations killed by the estimated
+	// memory budget (governor.ErrMemBudget).
+	ViolationsMemBudget int64 `json:"violations_mem_budget"`
+	// ViolationsAdmission counts evaluations rejected pre-flight by
+	// admission control (governor.ErrAdmission).
+	ViolationsAdmission int64 `json:"violations_admission"`
 	// CacheHits counts subexpressions served from a cache.
 	CacheHits int64 `json:"cache_hits"`
 	// CacheMisses counts subexpressions that were evaluated.
 	CacheMisses int64 `json:"cache_misses"`
 	// CacheInvalidations counts cache entries dropped.
 	CacheInvalidations int64 `json:"cache_invalidations"`
+}
+
+// ViolationCount is one (kind, count) pair of the governor-violation
+// counters, for exporters and footers that enumerate them.
+type ViolationCount struct {
+	// Kind is a Violation* constant.
+	Kind string
+	// Count is how many evaluations died on that sentinel.
+	Count int64
+}
+
+// ViolationCounts returns the violation counters in the ViolationKinds
+// order, including zero counts.
+func (s MetricsSnapshot) ViolationCounts() []ViolationCount {
+	return []ViolationCount{
+		{ViolationDeadline, s.ViolationsDeadline},
+		{ViolationCanceled, s.ViolationsCanceled},
+		{ViolationRowBudget, s.ViolationsRowBudget},
+		{ViolationMemBudget, s.ViolationsMemBudget},
+		{ViolationAdmission, s.ViolationsAdmission},
+	}
+}
+
+// ViolationsTotal sums the violation counters across sentinels.
+func (s MetricsSnapshot) ViolationsTotal() int64 {
+	return s.ViolationsDeadline + s.ViolationsCanceled + s.ViolationsRowBudget +
+		s.ViolationsMemBudget + s.ViolationsAdmission
+}
+
+// fold accumulates another snapshot into s: counters add, the peak
+// intermediate takes the maximum. It is the Registry's cross-evaluation
+// aggregation step.
+func (s *MetricsSnapshot) fold(o MetricsSnapshot) {
+	if o.MaxIntermediate > s.MaxIntermediate {
+		s.MaxIntermediate = o.MaxIntermediate
+	}
+	s.Joins += o.Joins
+	s.IntermediateTuples += o.IntermediateTuples
+	s.TuplesBuilt += o.TuplesBuilt
+	s.TuplesProbed += o.TuplesProbed
+	s.TuplesEmitted += o.TuplesEmitted
+	s.PartitionedJoins += o.PartitionedJoins
+	s.Partitions += o.Partitions
+	s.BroadcastJoins += o.BroadcastJoins
+	s.SequentialFallbacks += o.SequentialFallbacks
+	s.WCOJJoins += o.WCOJJoins
+	s.WCOJCandidates += o.WCOJCandidates
+	s.WCOJIntersections += o.WCOJIntersections
+	s.YannakakisJoins += o.YannakakisJoins
+	s.Semijoins += o.Semijoins
+	s.SemijoinRows += o.SemijoinRows
+	s.DegradedEvals += o.DegradedEvals
+	s.ViolationsDeadline += o.ViolationsDeadline
+	s.ViolationsCanceled += o.ViolationsCanceled
+	s.ViolationsRowBudget += o.ViolationsRowBudget
+	s.ViolationsMemBudget += o.ViolationsMemBudget
+	s.ViolationsAdmission += o.ViolationsAdmission
+	s.CacheHits += o.CacheHits
+	s.CacheMisses += o.CacheMisses
+	s.CacheInvalidations += o.CacheInvalidations
 }
 
 // String renders the snapshot as a single stats line.
@@ -304,11 +433,14 @@ func (s MetricsSnapshot) String() string {
 			"partitioned=%d partitions=%d broadcast=%d seq_fallback=%d "+
 			"wcoj=%d wcoj_candidates=%d wcoj_intersections=%d "+
 			"yannakakis=%d semijoins=%d semijoin_rows=%d degraded=%d "+
+			"viol_deadline=%d viol_canceled=%d viol_row_budget=%d viol_mem_budget=%d viol_admission=%d "+
 			"cache_hits=%d cache_misses=%d cache_invalidations=%d",
 		s.Joins, s.MaxIntermediate, s.IntermediateTuples,
 		s.TuplesBuilt, s.TuplesProbed, s.TuplesEmitted,
 		s.PartitionedJoins, s.Partitions, s.BroadcastJoins, s.SequentialFallbacks,
 		s.WCOJJoins, s.WCOJCandidates, s.WCOJIntersections,
 		s.YannakakisJoins, s.Semijoins, s.SemijoinRows, s.DegradedEvals,
+		s.ViolationsDeadline, s.ViolationsCanceled, s.ViolationsRowBudget,
+		s.ViolationsMemBudget, s.ViolationsAdmission,
 		s.CacheHits, s.CacheMisses, s.CacheInvalidations)
 }

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"sync"
 	"testing"
+	"time"
 )
 
 // TestNilSafety exercises every method on nil receivers: the zero-overhead
@@ -35,8 +36,29 @@ func TestNilSafety(t *testing.T) {
 	m.CacheHit()
 	m.CacheMiss()
 	m.CacheInvalidated(2)
+	m.Degraded()
+	m.Violation(ViolationDeadline)
+	m.Violation("not-a-kind")
 	if snap := m.Snapshot(); snap != (MetricsSnapshot{}) {
 		t.Fatalf("nil Metrics.Snapshot = %+v, want zero", snap)
+	}
+
+	var reg *Registry
+	reg.Observe(&Trace{}, time.Second)
+	reg.Observe(nil, 0)
+	reg.SetTraceCap(4)
+	if tr := reg.Traces(); tr != nil {
+		t.Fatalf("nil Registry.Traces = %v, want nil", tr)
+	}
+	if snap := reg.Snapshot(); snap.Evals != 0 || snap.TracesHeld != 0 {
+		t.Fatalf("nil Registry.Snapshot = %+v, want zero", snap)
+	}
+
+	var h *Histogram
+	h.Observe(1)
+	h.Observe(-3)
+	if snap := h.Snapshot(); snap.Count != 0 || snap.Sum != 0 || snap.Buckets != nil {
+		t.Fatalf("nil Histogram.Snapshot = %+v, want zero", snap)
 	}
 
 	var sp *Span
@@ -78,6 +100,10 @@ func TestMetricsCounters(t *testing.T) {
 	m.CacheMiss()
 	m.CacheMiss()
 	m.CacheInvalidated(4)
+	m.Violation(ViolationRowBudget)
+	m.Violation(ViolationRowBudget)
+	m.Violation(ViolationAdmission)
+	m.Violation("unknown") // non-sentinel failures are not violations
 
 	got := m.Snapshot()
 	want := MetricsSnapshot{
@@ -97,6 +123,8 @@ func TestMetricsCounters(t *testing.T) {
 		YannakakisJoins:     1,
 		Semijoins:           2,
 		SemijoinRows:        3,
+		ViolationsRowBudget: 2,
+		ViolationsAdmission: 1,
 		CacheHits:           1,
 		CacheMisses:         2,
 		CacheInvalidations:  4,

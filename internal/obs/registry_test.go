@@ -1,0 +1,276 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHistogramBuckets(t *testing.T) {
+	var h Histogram
+	for _, v := range []float64{0, -1, 0.5, 1, 1.5, 2, 1024, math.NaN(), 1e30} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	if s.Count != 8 { // NaN ignored
+		t.Fatalf("Count = %d, want 8", s.Count)
+	}
+	wantSum := 0.0 + -1 + 0.5 + 1 + 1.5 + 2 + 1024 + 1e30
+	if s.Sum != wantSum {
+		t.Fatalf("Sum = %g, want %g", s.Sum, wantSum)
+	}
+	// Per-bucket expectations: 0 and -1 land in the lowest bucket,
+	// 0.5 and 1 in their exact power-of-two buckets, 1.5 and 2 in le=2,
+	// 1024 in le=1024, 1e30 in the overflow bucket.
+	counts := map[float64]int64{}
+	for _, b := range s.Buckets {
+		counts[b.UpperBound] = b.Count
+	}
+	if got := counts[bucketBound(0)]; got != 2 {
+		t.Errorf("lowest bucket = %d, want 2 (zero and negative)", got)
+	}
+	if got := counts[0.5]; got != 1 {
+		t.Errorf("le=0.5 bucket = %d, want 1", got)
+	}
+	if got := counts[1]; got != 1 {
+		t.Errorf("le=1 bucket = %d, want 1", got)
+	}
+	if got := counts[2]; got != 2 {
+		t.Errorf("le=2 bucket = %d, want 2", got)
+	}
+	if got := counts[1024]; got != 1 {
+		t.Errorf("le=1024 bucket = %d, want 1", got)
+	}
+	if got := counts[bucketBound(histBuckets-1)]; got != 1 {
+		t.Errorf("overflow bucket = %d, want 1", got)
+	}
+	// Buckets must come out in increasing bound order with no empties.
+	for i := 1; i < len(s.Buckets); i++ {
+		if s.Buckets[i].UpperBound <= s.Buckets[i-1].UpperBound {
+			t.Fatalf("bucket bounds not increasing: %v", s.Buckets)
+		}
+	}
+	for _, b := range s.Buckets {
+		if b.Count == 0 {
+			t.Fatalf("empty bucket in snapshot: %v", s.Buckets)
+		}
+	}
+}
+
+// TestHistogramBucketIndexExact pins the boundary convention: a power of
+// two is the *upper* bound of its bucket (le is inclusive, Prometheus
+// style).
+func TestHistogramBucketIndexExact(t *testing.T) {
+	for _, tc := range []struct {
+		v    float64
+		want float64 // expected upper bound
+	}{
+		{1, 1}, {1.0001, 2}, {2, 2}, {0.25, 0.25}, {0.3, 0.5}, {3, 4}, {4, 4}, {5, 8},
+	} {
+		if got := bucketBound(bucketIndex(tc.v)); got != tc.want {
+			t.Errorf("bucketBound(bucketIndex(%g)) = %g, want %g", tc.v, got, tc.want)
+		}
+	}
+}
+
+func TestRegistryObserve(t *testing.T) {
+	reg := NewRegistry()
+
+	// Two traced evaluations and one collector-less one.
+	t1 := &Trace{
+		Roots: []*Span{{
+			Op: OpJoin, OutputRows: 10, MaxIntermediate: 50, AGMBound: 100,
+		}},
+		Metrics: MetricsSnapshot{Joins: 2, MaxIntermediate: 50, ViolationsRowBudget: 1},
+	}
+	t2 := &Trace{
+		Roots: []*Span{{
+			Op: OpProject, OutputRows: 3,
+			Children: []*Span{{Op: OpJoin, OutputRows: 8, AGMBound: 10}},
+		}},
+		Metrics: MetricsSnapshot{Joins: 1, MaxIntermediate: 8, ViolationsAdmission: 2},
+	}
+	reg.Observe(t1, 10*time.Millisecond)
+	reg.Observe(t2, 20*time.Millisecond)
+	reg.Observe(nil, 5*time.Millisecond)
+
+	s := reg.Snapshot()
+	if s.Evals != 3 {
+		t.Fatalf("Evals = %d, want 3", s.Evals)
+	}
+	if s.Metrics.Joins != 3 {
+		t.Errorf("total Joins = %d, want 3", s.Metrics.Joins)
+	}
+	if s.Metrics.MaxIntermediate != 50 {
+		t.Errorf("MaxIntermediate = %d, want max-fold 50", s.Metrics.MaxIntermediate)
+	}
+	if s.Metrics.ViolationsRowBudget != 1 || s.Metrics.ViolationsAdmission != 2 {
+		t.Errorf("violations = %+v, want row_budget=1 admission=2", s.Metrics.ViolationCounts())
+	}
+	if s.Metrics.ViolationsTotal() != 3 {
+		t.Errorf("ViolationsTotal = %d, want 3", s.Metrics.ViolationsTotal())
+	}
+	if s.Latency.Count != 3 {
+		t.Errorf("Latency.Count = %d, want 3 (nil-trace evals still time)", s.Latency.Count)
+	}
+	if s.PeakRows.Count != 2 {
+		t.Errorf("PeakRows.Count = %d, want 2", s.PeakRows.Count)
+	}
+	// t1's worst ratio is 50/100 = 0.5; t2's is 8/10 = 0.8.
+	if s.AGMRatio.Count != 2 {
+		t.Errorf("AGMRatio.Count = %d, want 2", s.AGMRatio.Count)
+	}
+	if got := s.AGMRatio.Sum; math.Abs(got-1.3) > 1e-9 {
+		t.Errorf("AGMRatio.Sum = %g, want 1.3", got)
+	}
+	if s.TracesHeld != 2 {
+		t.Errorf("TracesHeld = %d, want 2", s.TracesHeld)
+	}
+	if traces := reg.Traces(); len(traces) != 2 || traces[0] != t1 || traces[1] != t2 {
+		t.Errorf("Traces() = %v, want [t1 t2] oldest first", traces)
+	}
+}
+
+func TestRegistryTraceRingBounded(t *testing.T) {
+	reg := NewRegistry()
+	reg.SetTraceCap(3)
+	var want []*Trace
+	for i := 0; i < 10; i++ {
+		tr := &Trace{Metrics: MetricsSnapshot{Joins: int64(i)}}
+		want = append(want, tr)
+		reg.Observe(tr, time.Millisecond)
+	}
+	got := reg.Traces()
+	if len(got) != 3 {
+		t.Fatalf("ring holds %d traces, want 3", len(got))
+	}
+	for i, tr := range got {
+		if tr != want[7+i] {
+			t.Fatalf("ring[%d] = joins %d, want the 3 newest traces", i, tr.Metrics.Joins)
+		}
+	}
+	// Shrinking the cap drops oldest first; disabling clears.
+	reg.SetTraceCap(1)
+	if got := reg.Traces(); len(got) != 1 || got[0] != want[9] {
+		t.Fatalf("after SetTraceCap(1): %v", got)
+	}
+	reg.SetTraceCap(0)
+	if got := reg.Traces(); len(got) != 0 {
+		t.Fatalf("after SetTraceCap(0): %d traces retained", len(got))
+	}
+	reg.Observe(&Trace{}, 0)
+	if got := reg.Traces(); len(got) != 0 {
+		t.Fatalf("retention disabled but trace stored")
+	}
+}
+
+// TestRegistryConcurrent hammers one registry from many goroutines while
+// snapshots are being taken — the cross-evaluation analogue of
+// TestSnapshotConcurrent, run under -race by CI.
+func TestRegistryConcurrent(t *testing.T) {
+	reg := NewRegistry()
+	const workers, perWorker = 8, 200
+	stop := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				_ = reg.Snapshot()
+				_ = reg.Traces()
+			}
+		}
+	}()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				tr := &Trace{Metrics: MetricsSnapshot{Joins: 1, MaxIntermediate: int64(w*perWorker + i)}}
+				reg.Observe(tr, time.Duration(i)*time.Microsecond)
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+
+	s := reg.Snapshot()
+	if s.Evals != workers*perWorker {
+		t.Errorf("Evals = %d, want %d", s.Evals, workers*perWorker)
+	}
+	if s.Metrics.Joins != workers*perWorker {
+		t.Errorf("Joins = %d, want %d", s.Metrics.Joins, workers*perWorker)
+	}
+	if want := int64(workers*perWorker - 1); s.Metrics.MaxIntermediate != want {
+		t.Errorf("MaxIntermediate = %d, want %d", s.Metrics.MaxIntermediate, want)
+	}
+	if s.Latency.Count != workers*perWorker {
+		t.Errorf("Latency.Count = %d, want %d", s.Latency.Count, workers*perWorker)
+	}
+	if s.TracesHeld != DefaultTraceCap {
+		t.Errorf("TracesHeld = %d, want the default cap %d", s.TracesHeld, DefaultTraceCap)
+	}
+}
+
+// TestHistogramConcurrent checks the CAS-accumulated sum under contention.
+func TestHistogramConcurrent(t *testing.T) {
+	var h Histogram
+	const workers, perWorker = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				h.Observe(2)
+			}
+		}()
+	}
+	wg.Wait()
+	s := h.Snapshot()
+	if s.Count != workers*perWorker {
+		t.Errorf("Count = %d, want %d", s.Count, workers*perWorker)
+	}
+	if s.Sum != 2*workers*perWorker {
+		t.Errorf("Sum = %g, want %d", s.Sum, 2*workers*perWorker)
+	}
+	if len(s.Buckets) != 1 || s.Buckets[0].UpperBound != 2 || s.Buckets[0].Count != workers*perWorker {
+		t.Errorf("Buckets = %v, want all in le=2", s.Buckets)
+	}
+}
+
+func TestViolationKindsMatchCounts(t *testing.T) {
+	var m Metrics
+	for i, kind := range ViolationKinds() {
+		for j := 0; j <= i; j++ {
+			m.Violation(kind)
+		}
+	}
+	counts := m.Snapshot().ViolationCounts()
+	if len(counts) != len(ViolationKinds()) {
+		t.Fatalf("ViolationCounts has %d entries, want %d", len(counts), len(ViolationKinds()))
+	}
+	for i, vc := range counts {
+		if vc.Kind != ViolationKinds()[i] {
+			t.Errorf("counts[%d].Kind = %q, want %q", i, vc.Kind, ViolationKinds()[i])
+		}
+		if vc.Count != int64(i+1) {
+			t.Errorf("counts[%d] (%s) = %d, want %d", i, vc.Kind, vc.Count, i+1)
+		}
+	}
+	if got, want := m.Snapshot().ViolationsTotal(), int64(1+2+3+4+5); got != want {
+		t.Errorf("ViolationsTotal = %d, want %d", got, want)
+	}
+	// The stats line renders every sentinel.
+	line := m.Snapshot().String()
+	for i, kind := range ViolationKinds() {
+		if want := fmt.Sprintf("viol_%s=%d", kind, i+1); !strings.Contains(line, want) {
+			t.Errorf("String() missing %q: %s", want, line)
+		}
+	}
+}

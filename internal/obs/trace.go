@@ -54,6 +54,11 @@ type Span struct {
 	InputRows []int `json:"input_rows,omitempty"`
 	// OutputRows is the observed output cardinality.
 	OutputRows int `json:"output_rows"`
+	// StartNanos is the node's wall-clock start as Unix nanoseconds,
+	// recorded by Begin. It places the span on an absolute timeline for
+	// the Chrome trace-event export; 0 means the span never began
+	// (cache hit) or predates this field (old serialized traces).
+	StartNanos int64 `json:"start_ns,omitempty"`
 	// WallNanos is the node's wall-clock evaluation time, including its
 	// subtree.
 	WallNanos int64 `json:"wall_ns"`
@@ -123,6 +128,7 @@ func (s *Span) Begin() {
 		return
 	}
 	s.start = time.Now()
+	s.StartNanos = s.start.UnixNano()
 }
 
 // Finish records the node's wall time and observed output cardinality.

@@ -1,0 +1,145 @@
+// Package telemetry is the process-wide observability surface of the
+// query engine: a stdlib-only HTTP server exposing the obs.Registry as
+// Prometheus text-format metrics (/metrics), the runtime profiler
+// (/debug/pprof/), and the registry's recent span trees as Chrome
+// trace-event JSON (/debug/traces) loadable in Perfetto or
+// chrome://tracing.
+//
+// The package closes the loop the paper opens: Cosmadakis 1983 proves
+// intermediate results can blow up super-polynomially, internal/obs
+// measures the blow-up per evaluation, internal/governor bounds it — and
+// telemetry is where an operator watches all of it live across a
+// workload: the peak-rows histogram, the observed-peak/AGM-bound ratio
+// distribution, and the governor's violation counters by sentinel.
+//
+// telemetry sits above the engine: it imports internal/obs and
+// internal/fault (never the reverse), so attaching a server never
+// changes evaluation behavior. A process that starts no server pays
+// nothing — the exporters only read registry snapshots on request.
+package telemetry
+
+import (
+	"context"
+	"errors"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"time"
+
+	"relquery/internal/fault"
+	"relquery/internal/obs"
+)
+
+// Server serves /metrics, /debug/pprof/ and /debug/traces for one
+// registry. Create one with Start.
+type Server struct {
+	reg  *obs.Registry
+	ln   net.Listener
+	http *http.Server
+	done chan error
+
+	closeOnce sync.Once
+	closeErr  error
+}
+
+// Start listens on addr (host:port; port 0 picks a free port) and serves
+// the telemetry endpoints for reg in a background goroutine. The
+// returned server reports its bound address via Addr; stop it with
+// Close. A nil registry is allowed — the endpoints then export the
+// zero snapshot, so a server can be started before any evaluator is
+// wired to it.
+func Start(addr string, reg *obs.Registry) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		reg:  reg,
+		ln:   ln,
+		done: make(chan error, 1),
+	}
+	s.http = &http.Server{
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	go func() {
+		err := s.http.Serve(ln)
+		if errors.Is(err, http.ErrServerClosed) {
+			err = nil
+		}
+		s.done <- err
+	}()
+	return s, nil
+}
+
+// Addr returns the server's bound address (useful with port 0).
+func (s *Server) Addr() string {
+	if s == nil || s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Close shuts the server down gracefully and returns the serve loop's
+// terminal error, if any. Safe on a nil server and idempotent — later
+// calls return the first call's result.
+func (s *Server) Close() error {
+	if s == nil || s.http == nil {
+		return nil
+	}
+	s.closeOnce.Do(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		shutdownErr := s.http.Shutdown(ctx)
+		serveErr := <-s.done
+		s.closeErr = shutdownErr
+		if s.closeErr == nil {
+			s.closeErr = serveErr
+		}
+	})
+	return s.closeErr
+}
+
+// Handler returns the telemetry mux, for embedding the endpoints into an
+// existing server (ROADMAP item 3's relqueryd) instead of running a
+// dedicated one.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/debug/traces", s.handleTraces)
+	// The pprof handlers are registered on our own mux rather than
+	// importing the package for its DefaultServeMux side effect: the
+	// telemetry port is opt-in, the default mux may be serving elsewhere.
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", s.handleIndex)
+	return mux
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = WriteMetrics(w, s.reg.Snapshot(), fault.Firings())
+}
+
+func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	_ = WriteChromeTrace(w, s.reg.Traces())
+}
+
+func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	_, _ = w.Write([]byte(`<html><body><h1>relquery telemetry</h1><ul>
+<li><a href="/metrics">/metrics</a> — Prometheus text format</li>
+<li><a href="/debug/traces">/debug/traces</a> — Chrome trace-event JSON (load in Perfetto)</li>
+<li><a href="/debug/pprof/">/debug/pprof/</a> — runtime profiles</li>
+</ul></body></html>
+`))
+}

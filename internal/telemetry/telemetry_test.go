@@ -1,0 +1,398 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"relquery/internal/fault"
+	"relquery/internal/obs"
+)
+
+// testRegistry builds a registry with two observed evaluations: one
+// clean traced join, one collector-less, plus governor violations.
+func testRegistry() *obs.Registry {
+	reg := obs.NewRegistry()
+	tr := &obs.Trace{
+		Roots: []*obs.Span{{
+			Op: obs.OpProject, Label: "pi[A C]", OutputRows: 2,
+			StartNanos: 1_000_000, WallNanos: 3_000_000,
+			Children: []*obs.Span{{
+				Op: obs.OpJoin, Label: "* (natural join, 2 inputs)",
+				OutputRows: 5, StartNanos: 1_200_000, WallNanos: 2_500_000,
+				Algorithm: "hash", AGMBound: 12, MaxIntermediate: 6,
+				InputRows: []int{3, 4},
+				Children: []*obs.Span{
+					{Op: obs.OpScan, Label: "L", OutputRows: 3, StartNanos: 1_300_000, WallNanos: 100_000},
+					{Op: obs.OpScan, Label: "R", OutputRows: 4, Cache: obs.CacheHit},
+				},
+			}},
+		}},
+		Metrics: obs.MetricsSnapshot{
+			Joins: 1, MaxIntermediate: 6, IntermediateTuples: 6,
+			ViolationsRowBudget: 1, ViolationsDeadline: 2,
+		},
+	}
+	reg.Observe(tr, 3*time.Millisecond)
+	reg.Observe(nil, time.Millisecond)
+	return reg
+}
+
+func TestWriteMetricsParses(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteMetrics(&buf, testRegistry().Snapshot(), map[fault.Point]int64{fault.JoinBatch: 7}); err != nil {
+		t.Fatalf("WriteMetrics: %v", err)
+	}
+	got, err := ParseMetrics(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("own output does not parse: %v\n%s", err, buf.String())
+	}
+
+	if got["relquery_evals_total"] != 2 {
+		t.Errorf("evals_total = %g, want 2", got["relquery_evals_total"])
+	}
+	if got["relquery_joins_total"] != 1 {
+		t.Errorf("joins_total = %g, want 1", got["relquery_joins_total"])
+	}
+	// Every sentinel series must exist, including never-tripped ones at 0.
+	for _, kind := range obs.ViolationKinds() {
+		series := fmt.Sprintf("relquery_governor_violations_total{sentinel=%q}", kind)
+		v, ok := got[series]
+		if !ok {
+			t.Fatalf("missing series %s\nhave: %v", series, MetricNames(got))
+		}
+		want := map[string]float64{"row_budget": 1, "deadline": 2}[kind]
+		if v != want {
+			t.Errorf("%s = %g, want %g", series, v, want)
+		}
+	}
+	// Same for fault points.
+	for _, p := range fault.Points() {
+		series := fmt.Sprintf("relquery_fault_firings_total{point=%q}", string(p))
+		v, ok := got[series]
+		if !ok {
+			t.Fatalf("missing series %s", series)
+		}
+		want := 0.0
+		if p == fault.JoinBatch {
+			want = 7
+		}
+		if v != want {
+			t.Errorf("%s = %g, want %g", series, v, want)
+		}
+	}
+	// Histogram invariants: +Inf bucket equals _count, buckets cumulative.
+	if got[`relquery_eval_latency_seconds_bucket{le="+Inf"}`] != 2 {
+		t.Errorf("latency +Inf bucket = %g, want 2", got[`relquery_eval_latency_seconds_bucket{le="+Inf"}`])
+	}
+	if got["relquery_eval_latency_seconds_count"] != 2 {
+		t.Errorf("latency _count = %g, want 2", got["relquery_eval_latency_seconds_count"])
+	}
+	if sum := got["relquery_eval_latency_seconds_sum"]; sum < 0.003 || sum > 0.005 {
+		t.Errorf("latency _sum = %g, want 0.004", sum)
+	}
+	prev := 0.0
+	for _, line := range strings.Split(buf.String(), "\n") {
+		if strings.HasPrefix(line, "relquery_eval_latency_seconds_bucket") {
+			var v float64
+			fmt.Sscanf(line[strings.LastIndexByte(line, ' ')+1:], "%g", &v)
+			if v < prev {
+				t.Fatalf("bucket counts not cumulative: %q after %g", line, prev)
+			}
+			prev = v
+		}
+	}
+	if got["relquery_peak_intermediate_rows_count"] != 1 {
+		t.Errorf("peak rows _count = %g, want 1 (nil trace contributes none)", got["relquery_peak_intermediate_rows_count"])
+	}
+	// t1's worst ratio is 6/12.
+	if got["relquery_peak_agm_ratio_sum"] != 0.5 {
+		t.Errorf("agm ratio _sum = %g, want 0.5", got["relquery_peak_agm_ratio_sum"])
+	}
+	if got["relquery_peak_intermediate_rows_gauge"] != 6 {
+		t.Errorf("peak gauge = %g, want 6", got["relquery_peak_intermediate_rows_gauge"])
+	}
+}
+
+func TestWriteMetricsZeroSnapshot(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteMetrics(&buf, obs.RegistrySnapshot{}, nil); err != nil {
+		t.Fatalf("WriteMetrics(zero): %v", err)
+	}
+	got, err := ParseMetrics(&buf)
+	if err != nil {
+		t.Fatalf("zero snapshot output does not parse: %v", err)
+	}
+	if got["relquery_evals_total"] != 0 {
+		t.Errorf("evals_total = %g, want 0", got["relquery_evals_total"])
+	}
+	if _, ok := got[`relquery_governor_violations_total{sentinel="admission"}`]; !ok {
+		t.Error("zero snapshot omits violation series; CI smoke depends on them")
+	}
+}
+
+func TestParseMetricsRejectsMalformed(t *testing.T) {
+	for _, bad := range []string{
+		"just_a_name\n",
+		"1name 5\n",
+		`name{unterminated="x" 5` + "\n",
+		"name notanumber\n",
+		"name NaN\n",
+	} {
+		if _, err := ParseMetrics(strings.NewReader(bad)); err == nil {
+			t.Errorf("ParseMetrics(%q) accepted malformed input", bad)
+		}
+	}
+	// The histogram's le="+Inf" label and spaces inside label values are fine.
+	ok := "m_bucket{le=\"+Inf\"} 3\nm{l=\"a b\"} 1\n"
+	m, err := ParseMetrics(strings.NewReader(ok))
+	if err != nil {
+		t.Fatalf("ParseMetrics(valid) = %v", err)
+	}
+	if m[`m_bucket{le="+Inf"}`] != 3 || m[`m{l="a b"}`] != 1 {
+		t.Errorf("parsed %v", m)
+	}
+}
+
+// TestChromeTraceGolden pins the structural contract of the Chrome
+// export: valid JSON, every event a complete "X" (or "M" metadata)
+// event, per-evaluation pids, depth as tid, child events inside their
+// parent's track layout.
+func TestChromeTraceGolden(t *testing.T) {
+	reg := testRegistry()
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, reg.Traces()); err != nil {
+		t.Fatalf("WriteChromeTrace: %v", err)
+	}
+	var decoded struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Ts   float64        `json:"ts"`
+			Dur  float64        `json:"dur"`
+			Pid  int            `json:"pid"`
+			Tid  int            `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("chrome trace is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if decoded.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q, want ms", decoded.DisplayTimeUnit)
+	}
+	// One metadata event + 4 spans.
+	var meta, complete int
+	for _, ev := range decoded.TraceEvents {
+		switch ev.Ph {
+		case "M":
+			meta++
+			if ev.Name != "process_name" {
+				t.Errorf("metadata event name = %q", ev.Name)
+			}
+		case "X":
+			complete++
+			if ev.Pid < 1 || ev.Tid < 1 {
+				t.Errorf("event %q has pid=%d tid=%d, want >= 1", ev.Name, ev.Pid, ev.Tid)
+			}
+			if ev.Ts < 0 || ev.Dur < 0 {
+				t.Errorf("event %q has negative ts/dur: %g/%g", ev.Name, ev.Ts, ev.Dur)
+			}
+		default:
+			t.Errorf("unexpected phase %q (only X/M events are emitted)", ev.Ph)
+		}
+	}
+	if meta != 1 || complete != 4 {
+		t.Fatalf("got %d metadata + %d complete events, want 1 + 4\n%s", meta, complete, buf.String())
+	}
+	// The root starts the normalized timeline; the join sits inside it on
+	// the next track.
+	byName := map[string]int{}
+	for i, ev := range decoded.TraceEvents {
+		byName[ev.Name] = i
+	}
+	root := decoded.TraceEvents[byName["project pi[A C]"]]
+	join := decoded.TraceEvents[byName["join * (natural join, 2 inputs)"]]
+	hit := decoded.TraceEvents[byName["scan R"]]
+	if root.Ts != 0 {
+		t.Errorf("root ts = %g, want 0 (earliest start normalizes to zero)", root.Ts)
+	}
+	if root.Dur != 3000 {
+		t.Errorf("root dur = %g µs, want 3000", root.Dur)
+	}
+	if join.Tid != root.Tid+1 {
+		t.Errorf("join tid = %d, want root+1 = %d", join.Tid, root.Tid+1)
+	}
+	if join.Ts < root.Ts || join.Ts+join.Dur > root.Ts+root.Dur {
+		t.Errorf("join [%g, %g] outside root [%g, %g]", join.Ts, join.Ts+join.Dur, root.Ts, root.Ts+root.Dur)
+	}
+	if join.Args["algorithm"] != "hash" || join.Args["agm_bound"] != 12.0 {
+		t.Errorf("join args = %v", join.Args)
+	}
+	// The cache-hit scan never began: it gets a synthetic slot after its
+	// earlier sibling, still inside the join.
+	if hit.Args["cache"] != "hit" {
+		t.Errorf("cache-hit scan args = %v", hit.Args)
+	}
+	if hit.Ts < join.Ts {
+		t.Errorf("synthetic ts %g before parent %g", hit.Ts, join.Ts)
+	}
+}
+
+func TestChromeTraceEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, nil); err != nil {
+		t.Fatalf("WriteChromeTrace(nil): %v", err)
+	}
+	var decoded map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("empty trace not valid JSON: %v", err)
+	}
+	if evs, ok := decoded["traceEvents"].([]any); !ok || len(evs) != 0 {
+		t.Errorf("traceEvents = %v, want empty array (not null — Perfetto rejects it)", decoded["traceEvents"])
+	}
+	if err := WriteChromeTrace(&buf, []*obs.Trace{nil, {}}); err != nil {
+		t.Fatalf("WriteChromeTrace with nil entry: %v", err)
+	}
+}
+
+func TestServerEndpoints(t *testing.T) {
+	reg := testRegistry()
+	srv, err := Start("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr()
+
+	get := func(path string) (string, string) {
+		t.Helper()
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatalf("GET %s: read: %v", path, err)
+		}
+		return string(body), resp.Header.Get("Content-Type")
+	}
+
+	body, ctype := get("/metrics")
+	if !strings.HasPrefix(ctype, "text/plain") {
+		t.Errorf("/metrics content type = %q", ctype)
+	}
+	m, err := ParseMetrics(strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("/metrics does not parse: %v", err)
+	}
+	if m["relquery_evals_total"] != 2 {
+		t.Errorf("served evals_total = %g, want 2", m["relquery_evals_total"])
+	}
+
+	body, ctype = get("/debug/traces")
+	if !strings.HasPrefix(ctype, "application/json") {
+		t.Errorf("/debug/traces content type = %q", ctype)
+	}
+	var chrome map[string]any
+	if err := json.Unmarshal([]byte(body), &chrome); err != nil {
+		t.Fatalf("/debug/traces not valid JSON: %v", err)
+	}
+
+	if body, _ = get("/debug/pprof/"); !strings.Contains(body, "goroutine") {
+		t.Errorf("/debug/pprof/ index looks wrong: %.100s", body)
+	}
+	if body, _ = get("/"); !strings.Contains(body, "/metrics") {
+		t.Errorf("index page missing endpoint links: %.100s", body)
+	}
+
+	resp, err := http.Get(base + "/no-such-page")
+	if err != nil {
+		t.Fatalf("GET 404 path: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown path status = %d, want 404", resp.StatusCode)
+	}
+
+	if err := srv.Close(); err != nil {
+		t.Errorf("Close: %v", err)
+	}
+}
+
+// TestServerNilRegistry: a server over a nil registry serves zero
+// snapshots rather than panicking — it can start before the evaluator.
+func TestServerNilRegistry(t *testing.T) {
+	srv, err := Start("127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatalf("Start(nil registry): %v", err)
+	}
+	defer srv.Close()
+	for _, path := range []string{"/metrics", "/debug/traces"} {
+		resp, err := http.Get("http://" + srv.Addr() + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("GET %s with nil registry: status %d", path, resp.StatusCode)
+		}
+	}
+
+	var nilSrv *Server
+	if nilSrv.Addr() != "" {
+		t.Error("nil Server.Addr() != \"\"")
+	}
+	if err := nilSrv.Close(); err != nil {
+		t.Errorf("nil Server.Close() = %v", err)
+	}
+}
+
+// TestMetricsConcurrent scrapes while evaluations are being observed —
+// the handler path must be race-free (run under -race in CI).
+func TestMetricsConcurrent(t *testing.T) {
+	reg := obs.NewRegistry()
+	srv, err := Start("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	defer srv.Close()
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+				reg.Observe(&obs.Trace{Metrics: obs.MetricsSnapshot{Joins: 1}}, time.Duration(i))
+			}
+		}
+	}()
+	for i := 0; i < 5; i++ {
+		resp, err := http.Get("http://" + srv.Addr() + "/metrics")
+		if err != nil {
+			t.Fatalf("scrape %d: %v", i, err)
+		}
+		if _, err := ParseMetrics(resp.Body); err != nil {
+			t.Errorf("scrape %d does not parse: %v", i, err)
+		}
+		resp.Body.Close()
+	}
+	close(stop)
+	wg.Wait()
+}

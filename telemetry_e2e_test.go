@@ -1,0 +1,104 @@
+package relquery_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"relquery/internal/core"
+	"relquery/internal/governor"
+	"relquery/internal/obs"
+	"relquery/internal/telemetry"
+)
+
+// TestTelemetryE7Smoke is the end-to-end telemetry path CI exercises: a
+// real experiment run (E7, the blow-up workload) publishing into a
+// registry behind a live telemetry server, scraped over HTTP. It pins
+// the whole chain — evaluator → registry → Prometheus exposition →
+// parser — and the /debug/traces Chrome export of the same run.
+func TestTelemetryE7Smoke(t *testing.T) {
+	reg := obs.NewRegistry()
+	srv, err := telemetry.Start("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatalf("telemetry.Start: %v", err)
+	}
+	defer srv.Close()
+
+	cfg := &core.Config{
+		Out:      io.Discard,
+		Seed:     1983,
+		Quick:    true,
+		Registry: reg,
+		// A row cap low enough that the padded workloads trip it even in
+		// quick mode, so the violation counters are exercised end to end,
+		// not just present.
+		Limits: governor.Limits{MaxIntermediateRows: 500},
+	}
+	if err := core.Run([]string{"E7"}, cfg); err != nil {
+		t.Fatalf("core.Run(E7): %v", err)
+	}
+
+	resp, err := http.Get("http://" + srv.Addr() + "/metrics")
+	if err != nil {
+		t.Fatalf("GET /metrics: %v", err)
+	}
+	defer resp.Body.Close()
+	m, err := telemetry.ParseMetrics(resp.Body)
+	if err != nil {
+		t.Fatalf("/metrics does not parse as Prometheus text format: %v", err)
+	}
+	if m["relquery_evals_total"] == 0 {
+		t.Error("evals_total = 0; E7's evaluations never reached the registry")
+	}
+	// Every governor sentinel must be present as a series, and the row
+	// cap set above must actually have tripped.
+	var violations float64
+	for _, kind := range obs.ViolationKinds() {
+		series := fmt.Sprintf("relquery_governor_violations_total{sentinel=%q}", kind)
+		v, ok := m[series]
+		if !ok {
+			t.Fatalf("missing series %s\nhave: %v", series, telemetry.MetricNames(m))
+		}
+		violations += v
+	}
+	if violations == 0 {
+		t.Error("no governor violations recorded despite the row cap")
+	}
+	if m[`relquery_eval_latency_seconds_bucket{le="+Inf"}`] != m["relquery_eval_latency_seconds_count"] {
+		t.Error("latency histogram +Inf bucket disagrees with _count")
+	}
+
+	resp2, err := http.Get("http://" + srv.Addr() + "/debug/traces")
+	if err != nil {
+		t.Fatalf("GET /debug/traces: %v", err)
+	}
+	defer resp2.Body.Close()
+	body, err := io.ReadAll(resp2.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var chrome struct {
+		TraceEvents []struct {
+			Ph   string `json:"ph"`
+			Name string `json:"name"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(body, &chrome); err != nil {
+		t.Fatalf("/debug/traces is not valid Chrome trace JSON: %v", err)
+	}
+	if len(chrome.TraceEvents) == 0 {
+		t.Fatal("/debug/traces has no events after an E7 run")
+	}
+	var sawJoin bool
+	for _, ev := range chrome.TraceEvents {
+		if ev.Ph == "X" && strings.HasPrefix(ev.Name, "join") {
+			sawJoin = true
+		}
+	}
+	if !sawJoin {
+		t.Error("no join span in the exported trace events")
+	}
+}
