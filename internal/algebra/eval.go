@@ -26,6 +26,11 @@ type EvalOptions struct {
 	// Cache memoizes structurally identical subexpressions within each
 	// Eval call (see Evaluator.Cache).
 	Cache bool
+	// SharedCache, when non-nil, memoizes subexpression results across
+	// Eval calls and callers, keyed by expression text plus relation
+	// fingerprints (see Evaluator.SharedCache). relqueryd threads one
+	// process-wide cache through every request here.
+	SharedCache *SubexprCache
 	// AutoWCOJ lets blow-up-prone n-ary join nodes switch to the
 	// worst-case-optimal generic join (see Evaluator.AutoWCOJ).
 	AutoWCOJ bool
@@ -53,6 +58,7 @@ func (o EvalOptions) NewEvaluator() *Evaluator {
 	return &Evaluator{
 		Parallelism:    o.Parallelism,
 		Cache:          o.Cache,
+		SharedCache:    o.SharedCache,
 		AutoWCOJ:       o.AutoWCOJ,
 		AutoYannakakis: o.AutoYannakakis,
 		Collector:      o.Collector,

@@ -134,11 +134,18 @@ type Registry struct {
 	// near the bound across a workload.
 	agmRatio Histogram
 
-	mu       sync.Mutex
-	evals    int64
-	totals   MetricsSnapshot
-	traces   []*Trace // ring, oldest first
-	traceCap int      // 0 means DefaultTraceCap
+	mu     sync.Mutex
+	evals  int64
+	totals MetricsSnapshot
+	// traces is a circular buffer of the most recent span trees: it grows
+	// by append until it reaches the effective cap, after which each new
+	// trace overwrites the oldest slot in place — a single store per
+	// evaluation, never a reallocation (see BenchmarkRegistryObserveTraceRing).
+	traces []*Trace
+	// head indexes the oldest retained trace once the buffer is full;
+	// while the buffer is still growing it stays 0 (slot 0 is the oldest).
+	head     int
+	traceCap int // 0 means DefaultTraceCap
 }
 
 // NewRegistry returns a Registry with the default trace retention.
@@ -155,13 +162,29 @@ func (r *Registry) SetTraceCap(n int) {
 	defer r.mu.Unlock()
 	if n <= 0 {
 		r.traceCap = -1
-		r.traces = nil
+		r.traces, r.head = nil, 0
 		return
 	}
 	r.traceCap = n
-	if len(r.traces) > n {
-		r.traces = append([]*Trace(nil), r.traces[len(r.traces)-n:]...)
+	// Rebuild the ring in oldest-first order, trimmed to the new cap.
+	// Resizing is a rare operator action; Observe never pays this copy.
+	ordered := r.orderedLocked()
+	if len(ordered) > n {
+		ordered = ordered[len(ordered)-n:]
 	}
+	r.traces, r.head = append([]*Trace(nil), ordered...), 0
+}
+
+// orderedLocked returns the retained traces oldest first; callers hold
+// r.mu. The returned slice aliases r.traces only when the ring has not
+// wrapped (head 0), which every caller immediately copies or replaces.
+func (r *Registry) orderedLocked() []*Trace {
+	if r.head == 0 {
+		return r.traces
+	}
+	out := make([]*Trace, 0, len(r.traces))
+	out = append(out, r.traces[r.head:]...)
+	return append(out, r.traces[:r.head]...)
 }
 
 // ringCap resolves the effective ring capacity; callers hold r.mu.
@@ -199,11 +222,16 @@ func (r *Registry) Observe(t *Trace, wall time.Duration) {
 		return
 	}
 	r.totals.fold(t.Metrics)
-	if n := r.ringCap(); n > 0 {
+	switch n := r.ringCap(); {
+	case n <= 0:
+		// Retention disabled.
+	case len(r.traces) < n:
 		r.traces = append(r.traces, t)
-		if len(r.traces) > n {
-			r.traces = append([]*Trace(nil), r.traces[len(r.traces)-n:]...)
-		}
+	default:
+		// Full ring: overwrite the oldest slot in place and advance —
+		// O(1) per evaluation regardless of the cap.
+		r.traces[r.head] = t
+		r.head = (r.head + 1) % len(r.traces)
 	}
 }
 
@@ -264,7 +292,7 @@ func (r *Registry) Traces() []*Trace {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	out := make([]*Trace, len(r.traces))
-	copy(out, r.traces)
+	copy(out, r.orderedLocked())
 	return out
 }
 

@@ -1,0 +1,38 @@
+package obs
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// BenchmarkRegistryObserveTraceRing measures the steady-state cost of
+// publishing one traced evaluation into a full trace ring — the path
+// relqueryd drives once per query. Before the circular buffer the trim
+// reallocated and copied the whole ring on every Observe (O(cap)); the
+// circular buffer makes it a single slot store, so the cost must be flat
+// across capacities.
+func BenchmarkRegistryObserveTraceRing(b *testing.B) {
+	for _, ringCap := range []int{32, 512, 4096} {
+		// "cap32", not "cap-32": benchdiff strips a trailing -N as the Go
+		// GOMAXPROCS suffix, which would collapse the capacities into one key.
+		b.Run(fmt.Sprintf("cap%d", ringCap), func(b *testing.B) {
+			reg := NewRegistry()
+			reg.SetTraceCap(ringCap)
+			tr := &Trace{
+				Roots:   []*Span{{Op: OpJoin, OutputRows: 8, MaxIntermediate: 16, AGMBound: 32}},
+				Metrics: MetricsSnapshot{Joins: 1, MaxIntermediate: 16},
+			}
+			// Fill the ring so every timed Observe exercises the full-ring
+			// replacement path, not the growth path.
+			for i := 0; i < ringCap; i++ {
+				reg.Observe(tr, time.Microsecond)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				reg.Observe(tr, time.Microsecond)
+			}
+		})
+	}
+}

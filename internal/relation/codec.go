@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"hash/fnv"
 	"io"
+	"math/bits"
 	"sort"
 	"strconv"
 	"strings"
@@ -34,20 +35,32 @@ import (
 // The hash is order-independent: each tuple's length-prefixed key is
 // hashed separately and the 64-bit digests are combined commutatively,
 // so Fingerprint costs one pass over the tuples with no sorting.
+//
+// The commutative fold is cancellation-resistant: each digest d
+// contributes both to a wrapping sum and to an XOR of d rotated by its
+// own low bits. A bare XOR fold (the original scheme) let any two tuple
+// sets whose digests XOR to the same value — engineerable by Gaussian
+// elimination over GF(2), see TestFingerprintXORCancellationRegression —
+// collide at equal cardinality, a stale-hit soundness hole for the
+// subexpression cache keyed on this value. Defeating the combined fold
+// requires simultaneously solving a linear system over Z/2^64 and a
+// digest-dependent rotated system over GF(2)^64, which no longer
+// factors into independent per-bit equations.
 func Fingerprint(r *Relation) string {
 	h := fnv.New64a()
 	h.Write([]byte(r.scheme.String()))
 	schemeSum := h.Sum64()
-	var tupleSum uint64
+	var tupleSum, tupleRot uint64
 	for _, t := range r.tuples {
 		th := fnv.New64a()
 		th.Write([]byte(t.Key()))
-		// XOR is commutative and associative; combined with the tuple
-		// count and scheme digest below, collisions need engineered input.
-		tupleSum ^= th.Sum64()
+		d := th.Sum64()
+		tupleSum += d
+		tupleRot ^= bits.RotateLeft64(d, int(d&63))
 	}
 	return strconv.FormatUint(schemeSum, 16) + "-" +
 		strconv.FormatUint(tupleSum, 16) + "-" +
+		strconv.FormatUint(tupleRot, 16) + "-" +
 		strconv.Itoa(len(r.tuples))
 }
 
@@ -167,6 +180,15 @@ func ReadDatabase(r io.Reader) (Database, error) {
 // ReadRelation parses a single relation. It accepts either a full
 // "relation <name> ... end" block (returning that name) or a bare relation:
 // a scheme line followed by tuple lines until EOF (returned name is "").
+//
+// The two forms are disambiguated structurally, not by prefix alone: a
+// block header is exactly the two fields "relation <name>", so a bare
+// relation whose first attribute happens to be named "relation" with two
+// or more further attributes is unambiguous. The genuinely ambiguous
+// two-field case ("relation B" is both a valid block header and a valid
+// two-attribute scheme) is resolved by trying the block grammar first —
+// it is the stricter one, requiring a scheme line and an "end" footer —
+// and falling back to the bare form when the block parse fails.
 func ReadRelation(r io.Reader) (name string, rel *Relation, err error) {
 	data, err := io.ReadAll(r)
 	if err != nil {
@@ -182,18 +204,29 @@ func ReadRelation(r io.Reader) (name string, rel *Relation, err error) {
 			break
 		}
 	}
-	if strings.HasPrefix(first, "relation ") {
-		db, err := ReadDatabase(strings.NewReader(text))
-		if err != nil {
-			return "", nil, err
+	if fields := strings.Fields(first); len(fields) == 2 && fields[0] == "relation" {
+		db, blockErr := ReadDatabase(strings.NewReader(text))
+		if blockErr == nil {
+			names := db.Names()
+			if len(names) != 1 {
+				return "", nil, fmt.Errorf("relation: expected exactly one relation, found %d", len(names))
+			}
+			return names[0], db[names[0]], nil
 		}
-		names := db.Names()
-		if len(names) != 1 {
-			return "", nil, fmt.Errorf("relation: expected exactly one relation, found %d", len(names))
+		// Not a well-formed block: re-read as a bare relation whose scheme
+		// is the two-field first line. If that fails too, the block error
+		// is the more informative one — the input led with "relation".
+		if name, rel, bareErr := readBare(text); bareErr == nil {
+			return name, rel, nil
 		}
-		return names[0], db[names[0]], nil
+		return "", nil, blockErr
 	}
-	// Bare form.
+	return readBare(text)
+}
+
+// readBare parses the bare form: a scheme line followed by tuple lines
+// until EOF. The returned name is always "".
+func readBare(text string) (name string, rel *Relation, err error) {
 	lines := strings.Split(text, "\n")
 	var scheme Scheme
 	haveScheme := false

@@ -2,6 +2,11 @@ package relation
 
 import (
 	"bytes"
+	"fmt"
+	"hash/fnv"
+	"math/big"
+	"math/bits"
+	"strconv"
 	"strings"
 	"testing"
 )
@@ -135,5 +140,180 @@ func TestRender(t *testing.T) {
 	// Columns align: "0" in the first row sits under "X1" in the header.
 	if strings.Index(lines[0], "X1") != strings.Index(lines[1], "0") {
 		t.Errorf("column misaligned:\n%q\n%q", lines[0], lines[1])
+	}
+}
+
+// oldXORFingerprint reproduces the pre-fix combining scheme — a bare XOR
+// fold of per-tuple FNV digests — so the regression test below can prove
+// the engineered pair collided under it.
+func oldXORFingerprint(r *Relation) string {
+	h := fnv.New64a()
+	h.Write([]byte(r.scheme.String()))
+	schemeSum := h.Sum64()
+	var tupleSum uint64
+	for _, t := range r.tuples {
+		th := fnv.New64a()
+		th.Write([]byte(t.Key()))
+		tupleSum ^= th.Sum64()
+	}
+	return strconv.FormatUint(schemeSum, 16) + "-" +
+		strconv.FormatUint(tupleSum, 16) + "-" +
+		strconv.Itoa(len(r.tuples))
+}
+
+// TestFingerprintXORCancellationRegression engineers two disjoint
+// relations of equal cardinality over the same scheme whose per-tuple
+// digests XOR to the same value, so the old bare-XOR fold fingerprinted
+// them identically — the stale-hit soundness hole for the subexpression
+// cache. The pair is found deterministically, not by luck: 80 tuple
+// digests are 64-bit vectors over GF(2), so Gaussian elimination must
+// find linearly dependent subsets (any 65 vectors are dependent); a
+// dependent subset XORs to zero, and splitting it in half gives two tuple
+// sets with equal XOR and equal cardinality. The fixed fingerprint must
+// tell them apart.
+func TestFingerprintXORCancellationRegression(t *testing.T) {
+	scheme := MustScheme("X")
+	const n = 80
+	vals := make([]string, n)
+	digests := make([]uint64, n)
+	for i := range vals {
+		vals[i] = fmt.Sprintf("v%03d", i)
+		th := fnv.New64a()
+		th.Write([]byte(TupleOf(vals[i]).Key()))
+		digests[i] = th.Sum64()
+	}
+
+	// Gaussian elimination over GF(2), tracking which input digests each
+	// reduced row combines; a row that reduces to zero yields a subset
+	// mask whose digests XOR-cancel.
+	popcount := func(m *big.Int) int {
+		c := 0
+		for i := 0; i < n; i++ {
+			if m.Bit(i) == 1 {
+				c++
+			}
+		}
+		return c
+	}
+	type row struct {
+		vec  uint64
+		mask *big.Int
+	}
+	basis := map[int]row{} // pivot bit index -> row
+	var cancelling *big.Int
+	var oddMask *big.Int
+	for i := 0; i < n && cancelling == nil; i++ {
+		vec, mask := digests[i], new(big.Int).SetBit(new(big.Int), i, 1)
+		for vec != 0 {
+			p := bits.Len64(vec) - 1
+			b, ok := basis[p]
+			if !ok {
+				basis[p] = row{vec, mask}
+				break
+			}
+			vec ^= b.vec
+			mask = new(big.Int).Xor(mask, b.mask)
+		}
+		if vec != 0 {
+			continue
+		}
+		// mask's subset XORs to zero. An equal-cardinality split needs an
+		// even subset; two odd subsets combine (symmetric difference) to
+		// an even one.
+		switch pc := popcount(mask); {
+		case pc%2 == 0 && pc >= 4:
+			cancelling = mask
+		case pc%2 == 1 && oddMask == nil:
+			oddMask = mask
+		case pc%2 == 1:
+			if c := new(big.Int).Xor(oddMask, mask); popcount(c)%2 == 0 && popcount(c) >= 4 {
+				cancelling = c
+			}
+		}
+	}
+	if cancelling == nil {
+		t.Fatal("no even-size XOR-cancelling subset among 80 digests; elimination is broken (>=16 dependencies exist)")
+	}
+
+	var subset []int
+	for i := 0; i < n; i++ {
+		if cancelling.Bit(i) == 1 {
+			subset = append(subset, i)
+		}
+	}
+	half := len(subset) / 2
+	r1, r2 := New(scheme), New(scheme)
+	for _, i := range subset[:half] {
+		r1.MustAdd(TupleOf(vals[i]))
+	}
+	for _, i := range subset[half:] {
+		r2.MustAdd(TupleOf(vals[i]))
+	}
+	if r1.Equal(r2) || r1.Len() != r2.Len() {
+		t.Fatalf("engineered relations must be different sets of equal cardinality (%d vs %d)", r1.Len(), r2.Len())
+	}
+	if o1, o2 := oldXORFingerprint(r1), oldXORFingerprint(r2); o1 != o2 {
+		t.Fatalf("engineered pair does not collide under the old XOR fold: %s vs %s", o1, o2)
+	}
+	if f1, f2 := Fingerprint(r1), Fingerprint(r2); f1 == f2 {
+		t.Fatalf("different relations still fingerprint-equal after the fix: %s", f1)
+	}
+}
+
+// TestFingerprintOrderIndependent pins the commutativity contract: the
+// fold must not depend on insertion order.
+func TestFingerprintOrderIndependent(t *testing.T) {
+	a := rel(t, "A B", "1 x", "2 y", "3 z")
+	b := rel(t, "A B", "3 z", "1 x", "2 y")
+	if Fingerprint(a) != Fingerprint(b) {
+		t.Error("fingerprint depends on insertion order")
+	}
+	c := rel(t, "A B", "1 x", "2 y")
+	if Fingerprint(a) == Fingerprint(c) {
+		t.Error("subset fingerprints equal")
+	}
+}
+
+// TestReadRelationFirstAttributeNamedRelation covers the misparse fixed
+// in ReadRelation: bare relations whose scheme starts with an attribute
+// literally named "relation" used to be rejected as malformed block
+// headers. Block-form inputs must keep parsing as blocks.
+func TestReadRelationFirstAttributeNamedRelation(t *testing.T) {
+	// Bare, three attributes: "relation kind count" cannot be a block
+	// header (headers have exactly two fields).
+	name, r, err := ReadRelation(strings.NewReader("relation kind count\nr1 base 10\nr2 view 20\n"))
+	if err != nil {
+		t.Fatalf("bare relation with first attribute %q rejected: %v", "relation", err)
+	}
+	if name != "" || r.Len() != 2 || r.Scheme().Len() != 3 {
+		t.Fatalf("bare parse: name=%q len=%d scheme=%v", name, r.Len(), r.Scheme())
+	}
+
+	// Bare, two attributes: "relation B" is also a valid block header,
+	// but the input has no scheme-plus-end block structure, so the bare
+	// grammar must win.
+	name, r, err = ReadRelation(strings.NewReader("relation B\nx 1\ny 2\nz 3\n"))
+	if err != nil {
+		t.Fatalf("ambiguous two-field scheme rejected: %v", err)
+	}
+	if name != "" || r.Len() != 3 || r.Scheme().Len() != 2 {
+		t.Fatalf("ambiguous bare parse: name=%q len=%d scheme=%v", name, r.Len(), r.Scheme())
+	}
+
+	// Block form still parses as a block, including when the block's own
+	// scheme starts with an attribute named "relation".
+	name, r, err = ReadRelation(strings.NewReader("relation T\nrelation B\nx 1\nend\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != "T" || r.Len() != 1 || r.Scheme().Len() != 2 {
+		t.Fatalf("block parse: name=%q len=%d scheme=%v", name, r.Len(), r.Scheme())
+	}
+
+	// A malformed block that cannot be read bare either reports the block
+	// error (the input led with a header-shaped line).
+	_, _, err = ReadRelation(strings.NewReader("relation T\nA B\n1 2 3\n"))
+	if err == nil || !strings.Contains(err.Error(), "relation") {
+		t.Fatalf("malformed input accepted: %v", err)
 	}
 }

@@ -1,0 +1,100 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"relquery/internal/fault"
+	"relquery/internal/telemetry"
+)
+
+// serverMetrics holds relqueryd's own counters, appended to the /metrics
+// exposition after the engine registry's series. Counters are atomics;
+// the per-tenant map takes a small lock on the query path only.
+type serverMetrics struct {
+	requests         atomic.Int64
+	admissionRejects atomic.Int64
+	inflight         atomic.Int64
+
+	mu          sync.Mutex
+	tenantEvals map[string]int64
+}
+
+func (m *serverMetrics) evalDone(tenant string) {
+	m.mu.Lock()
+	if m.tenantEvals == nil {
+		m.tenantEvals = make(map[string]int64)
+	}
+	m.tenantEvals[tenant]++
+	m.mu.Unlock()
+}
+
+func (m *serverMetrics) tenantCounts() (names []string, counts map[string]int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	counts = make(map[string]int64, len(m.tenantEvals))
+	for name, n := range m.tenantEvals {
+		names = append(names, name)
+		counts[name] = n
+	}
+	sort.Strings(names)
+	return names, counts
+}
+
+// handleMetrics serves the engine registry's Prometheus exposition with
+// relqueryd's server-level series appended, so one scrape covers the
+// whole process.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = telemetry.WriteMetrics(w, s.reg.Snapshot(), fault.Firings())
+	s.writeServerMetrics(w)
+}
+
+func (s *Server) writeServerMetrics(w io.Writer) {
+	header := func(name, typ, help string) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+	}
+	header("relqueryd_requests_total", "counter", "HTTP requests handled by the query endpoint.")
+	fmt.Fprintf(w, "relqueryd_requests_total %d\n", s.metrics.requests.Load())
+
+	header("relqueryd_admission_rejects_total", "counter", "Queries rejected pre-flight by the tenant budget (HTTP 429).")
+	fmt.Fprintf(w, "relqueryd_admission_rejects_total %d\n", s.metrics.admissionRejects.Load())
+
+	header("relqueryd_inflight_queries", "gauge", "Queries currently holding a worker-pool slot.")
+	fmt.Fprintf(w, "relqueryd_inflight_queries %d\n", s.metrics.inflight.Load())
+
+	header("relqueryd_tenant_evals_total", "counter", "Completed evaluations by tenant.")
+	names, counts := s.metrics.tenantCounts()
+	for _, name := range names {
+		fmt.Fprintf(w, "relqueryd_tenant_evals_total{tenant=%q} %d\n", name, counts[name])
+	}
+
+	ph, pm, pe := s.plans.counters()
+	header("relqueryd_plan_cache_hits_total", "counter", "Plan cache hits (parsed expression reused).")
+	fmt.Fprintf(w, "relqueryd_plan_cache_hits_total %d\n", ph)
+	header("relqueryd_plan_cache_misses_total", "counter", "Plan cache misses.")
+	fmt.Fprintf(w, "relqueryd_plan_cache_misses_total %d\n", pm)
+	header("relqueryd_plan_cache_entries", "gauge", "Resident parsed plans.")
+	fmt.Fprintf(w, "relqueryd_plan_cache_entries %d\n", pe)
+
+	if s.shared != nil {
+		hits, misses, invalidations, entries := s.shared.Counters()
+		header("relqueryd_shared_cache_hits_total", "counter", "Shared subexpression cache hits across requests.")
+		fmt.Fprintf(w, "relqueryd_shared_cache_hits_total %d\n", hits)
+		header("relqueryd_shared_cache_misses_total", "counter", "Shared subexpression cache misses.")
+		fmt.Fprintf(w, "relqueryd_shared_cache_misses_total %d\n", misses)
+		header("relqueryd_shared_cache_invalidations_total", "counter", "Shared cache entries dropped by /v1/cache/reset.")
+		fmt.Fprintf(w, "relqueryd_shared_cache_invalidations_total %d\n", invalidations)
+		header("relqueryd_shared_cache_entries", "gauge", "Resident shared cache entries.")
+		fmt.Fprintf(w, "relqueryd_shared_cache_entries %d\n", entries)
+	}
+
+	header("relqueryd_catalog_relations", "gauge", "Relations resident per tenant catalog.")
+	for _, t := range s.tenantList() {
+		fmt.Fprintf(w, "relqueryd_catalog_relations{tenant=%q} %d\n", t.name, t.size())
+	}
+}

@@ -1,0 +1,147 @@
+package server
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"relquery/internal/governor"
+	"relquery/internal/relation"
+)
+
+// tenant is one named catalog plus its resource limits. Relations are
+// immutable once loaded — uploads replace the map entry, never mutate a
+// *Relation — so a query evaluates against a cheap shallow snapshot of
+// the map while uploads proceed.
+type tenant struct {
+	name   string
+	limits governor.Limits
+
+	mu sync.RWMutex
+	db relation.Database
+}
+
+func newTenant(name string, limits governor.Limits) *tenant {
+	return &tenant{name: name, limits: limits, db: relation.NewDatabase()}
+}
+
+// snapshot returns a shallow copy of the catalog: the evaluation sees a
+// consistent set of relation pointers regardless of concurrent uploads.
+func (t *tenant) snapshot() relation.Database {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	db := make(relation.Database, len(t.db))
+	for name, r := range t.db {
+		db[name] = r
+	}
+	return db
+}
+
+func (t *tenant) put(name string, r *relation.Relation) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.db.Put(name, r)
+}
+
+func (t *tenant) get(name string) (*relation.Relation, bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	r, ok := t.db[name]
+	return r, ok
+}
+
+func (t *tenant) drop(name string) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, ok := t.db[name]; !ok {
+		return false
+	}
+	delete(t.db, name)
+	return true
+}
+
+func (t *tenant) size() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.db)
+}
+
+// loadAll installs every relation of db into the catalog.
+func (t *tenant) loadAll(db relation.Database) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for name, r := range db {
+		t.db.Put(name, r)
+	}
+}
+
+// ParseTenantSpec parses one -tenant flag value:
+//
+//	name:budget=10k,timeout=2s,max-rows=1m,mem=64000000
+//
+// where budget caps intermediate rows (the admission threshold), timeout
+// is the per-evaluation deadline, max-rows caps the final result, and
+// mem caps estimated materialized bytes. Every key is optional; row
+// values accept the k/m/g (×1000) suffixes of governor.ParseRows.
+func ParseTenantSpec(spec string) (string, governor.Limits, error) {
+	name, opts, ok := strings.Cut(spec, ":")
+	name = strings.TrimSpace(name)
+	if name == "" {
+		return "", governor.Limits{}, fmt.Errorf("server: tenant spec %q: empty tenant name", spec)
+	}
+	var l governor.Limits
+	if !ok || strings.TrimSpace(opts) == "" {
+		return name, l, nil
+	}
+	for _, kv := range strings.Split(opts, ",") {
+		key, val, ok := strings.Cut(strings.TrimSpace(kv), "=")
+		if !ok {
+			return "", governor.Limits{}, fmt.Errorf("server: tenant spec %q: %q is not key=value", spec, kv)
+		}
+		var err error
+		switch key {
+		case "budget":
+			l.MaxIntermediateRows, err = governor.ParseRows(val)
+		case "timeout":
+			l.Deadline, err = governor.ParseTimeout(val)
+		case "max-rows":
+			l.MaxRows, err = governor.ParseRows(val)
+		case "mem":
+			var n int
+			n, err = governor.ParseRows(val)
+			l.MaxMemoryBytes = int64(n)
+		default:
+			err = fmt.Errorf("unknown key %q (want budget, timeout, max-rows or mem)", key)
+		}
+		if err != nil {
+			return "", governor.Limits{}, fmt.Errorf("server: tenant spec %q: %w", spec, err)
+		}
+	}
+	return name, l, nil
+}
+
+// relationInfo is one catalog listing entry.
+type relationInfo struct {
+	Name        string `json:"name"`
+	Rows        int    `json:"rows"`
+	Scheme      string `json:"scheme"`
+	Fingerprint string `json:"fingerprint"`
+}
+
+// listing renders the catalog in name order.
+func (t *tenant) listing() []relationInfo {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	out := make([]relationInfo, 0, len(t.db))
+	for name, r := range t.db {
+		out = append(out, relationInfo{
+			Name:        name,
+			Rows:        r.Len(),
+			Scheme:      r.Scheme().String(),
+			Fingerprint: relation.Fingerprint(r),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}

@@ -102,12 +102,18 @@ func (s *Server) Close() error {
 }
 
 // Handler returns the telemetry mux, for embedding the endpoints into an
-// existing server (ROADMAP item 3's relqueryd) instead of running a
-// dedicated one.
-func (s *Server) Handler() http.Handler {
+// existing server instead of running a dedicated one.
+func (s *Server) Handler() http.Handler { return NewHandler(s.reg) }
+
+// NewHandler returns the telemetry mux for a registry without starting a
+// server: /metrics, /debug/traces, /debug/pprof/* and an index page.
+// relqueryd mounts this under its own mux so the query routes and the
+// observability surface share one port. A nil registry exports the zero
+// snapshot.
+func NewHandler(reg *obs.Registry) http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/metrics", s.handleMetrics)
-	mux.HandleFunc("/debug/traces", s.handleTraces)
+	mux.HandleFunc("/metrics", MetricsHandler(reg))
+	mux.HandleFunc("/debug/traces", TracesHandler(reg))
 	// The pprof handlers are registered on our own mux rather than
 	// importing the package for its DefaultServeMux side effect: the
 	// telemetry port is opt-in, the default mux may be serving elsewhere.
@@ -116,21 +122,29 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	mux.HandleFunc("/", s.handleIndex)
+	mux.HandleFunc("/", handleIndex)
 	return mux
 }
 
-func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	_ = WriteMetrics(w, s.reg.Snapshot(), fault.Firings())
+// MetricsHandler serves the registry snapshot (plus fault firing
+// counters) in Prometheus text format, for embedding the endpoint alone.
+func MetricsHandler(reg *obs.Registry) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = WriteMetrics(w, reg.Snapshot(), fault.Firings())
+	}
 }
 
-func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
-	w.Header().Set("Content-Type", "application/json; charset=utf-8")
-	_ = WriteChromeTrace(w, s.reg.Traces())
+// TracesHandler serves the registry's retained span trees as Chrome
+// trace-event JSON, for embedding the endpoint alone.
+func TracesHandler(reg *obs.Registry) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		_ = WriteChromeTrace(w, reg.Traces())
+	}
 }
 
-func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
+func handleIndex(w http.ResponseWriter, r *http.Request) {
 	if r.URL.Path != "/" {
 		http.NotFound(w, r)
 		return
