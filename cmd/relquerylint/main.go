@@ -3,17 +3,27 @@
 //
 // Usage:
 //
-//	relquerylint [-list] [packages]
+//	relquerylint [-list] [-format text|sarif] [-baseline file] [-write-baseline] [packages]
 //
-// Packages default to ./... relative to the current directory. Exit
-// status: 0 when the tree is clean, 1 when any analyzer reported a
-// diagnostic, 2 on a loading or internal error — the same convention as
-// go vet, so CI can gate on it directly.
+// Packages default to ./... relative to the current directory. With
+// -baseline, findings recorded in the baseline file are demoted to
+// warnings (the debt ledger); new findings still fail, and stale
+// entries — recorded findings that no longer fire — also fail, so the
+// ledger can only shrink: regenerate it with -write-baseline to claim
+// the progress. With -format=sarif the report is a SARIF 2.1.0 log on
+// stdout (fresh findings level "error", baselined "warning") for
+// upload to code-scanning UIs.
+//
+// Exit status: 0 when the tree is clean (or every finding is
+// baselined), 1 when any fresh finding or stale baseline entry exists,
+// 2 on a loading or internal error — the same convention as go vet, so
+// CI can gate on it directly.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"relquery/internal/analysis"
@@ -21,24 +31,31 @@ import (
 )
 
 func main() {
-	os.Exit(run(os.Args[1:]))
+	os.Exit(run(os.Args[1:], os.Stdout))
 }
 
-func run(args []string) int {
+func run(args []string, stdout io.Writer) int {
 	flags := flag.NewFlagSet("relquerylint", flag.ContinueOnError)
 	list := flags.Bool("list", false, "list the analyzers in the suite and exit")
+	format := flags.String("format", "text", "report format: text or sarif")
+	baselinePath := flags.String("baseline", "", "baseline file: recorded findings warn instead of failing")
+	writeBaseline := flags.Bool("write-baseline", false, "write current findings to the baseline file and exit")
 	flags.Usage = func() {
-		fmt.Fprintln(flags.Output(), "usage: relquerylint [-list] [packages]")
+		fmt.Fprintln(flags.Output(), "usage: relquerylint [-list] [-format text|sarif] [-baseline file] [-write-baseline] [packages]")
 		flags.PrintDefaults()
 	}
 	if err := flags.Parse(args); err != nil {
+		return 2
+	}
+	if *format != "text" && *format != "sarif" {
+		fmt.Fprintf(os.Stderr, "relquerylint: unknown -format %q (want text or sarif)\n", *format)
 		return 2
 	}
 
 	analyzers := analysis.All()
 	if *list {
 		for _, a := range analyzers {
-			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+			fmt.Fprintf(stdout, "%-14s %s\n", a.Name, a.Doc)
 		}
 		return 0
 	}
@@ -53,6 +70,11 @@ func run(args []string) int {
 		fmt.Fprintln(os.Stderr, "relquerylint:", err)
 		return 2
 	}
+	root, err := framework.ModuleRoot(dir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "relquerylint:", err)
+		return 2
+	}
 	prog, err := framework.LoadPackages(dir, patterns...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "relquerylint:", err)
@@ -63,11 +85,65 @@ func run(args []string) int {
 		fmt.Fprintln(os.Stderr, "relquerylint:", err)
 		return 2
 	}
-	for _, d := range diags {
-		fmt.Println(d.String())
+
+	if *writeBaseline {
+		path := *baselinePath
+		if path == "" {
+			path = "lint.baseline"
+		}
+		f, err := os.Create(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "relquerylint:", err)
+			return 2
+		}
+		werr := framework.WriteBaseline(f, diags, root)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			fmt.Fprintln(os.Stderr, "relquerylint:", werr)
+			return 2
+		}
+		fmt.Fprintf(stdout, "relquerylint: wrote %d finding(s) to %s\n", len(diags), path)
+		return 0
 	}
-	if len(diags) > 0 {
+
+	fresh, baselined, stale := diags, []framework.Diagnostic(nil), 0
+	if *baselinePath != "" {
+		b, err := framework.LoadBaseline(*baselinePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "relquerylint:", err)
+			return 2
+		}
+		fresh, baselined, stale = b.Apply(diags, root)
+	}
+
+	if *format == "sarif" {
+		if err := framework.WriteSARIF(stdout, analyzers, fresh, baselined, root); err != nil {
+			fmt.Fprintln(os.Stderr, "relquerylint:", err)
+			return 2
+		}
+	} else {
+		for _, d := range fresh {
+			fmt.Fprintln(stdout, d.String())
+		}
+		for _, d := range baselined {
+			fmt.Fprintf(stdout, "%s [baselined]\n", d.String())
+		}
+	}
+	if stale > 0 {
+		fmt.Fprintf(os.Stderr, "relquerylint: %d baseline entr%s no longer fire%s — the ratchet only shrinks; regenerate with -write-baseline\n",
+			stale, plural(stale, "y", "ies"), plural(stale, "s", ""))
+	}
+	if len(fresh) > 0 || stale > 0 {
 		return 1
 	}
 	return 0
+}
+
+func plural(n int, one, many string) string {
+	if n == 1 {
+		return one
+	}
+	return many
 }

@@ -1,9 +1,14 @@
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"os"
+	"path/filepath"
+	"strings"
 	"testing"
 
+	"relquery/internal/analysis"
 	"relquery/internal/analysis/framework"
 )
 
@@ -37,26 +42,136 @@ func TestSuiteCleanOnModule(t *testing.T) {
 		t.Skip("loads and type-checks the whole module")
 	}
 	chdirModuleRoot(t)
-	if code := run([]string{"./..."}); code != 0 {
-		t.Fatalf("relquerylint ./... = exit %d, want 0 (findings above)", code)
+	var out bytes.Buffer
+	if code := run([]string{"./..."}, &out); code != 0 {
+		t.Fatalf("relquerylint ./... = exit %d, want 0:\n%s", code, out.String())
+	}
+}
+
+// TestSARIFOnModule checks the SARIF report shape on a clean run: one
+// run, one rule per analyzer, zero results.
+func TestSARIFOnModule(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole module")
+	}
+	chdirModuleRoot(t)
+	var out bytes.Buffer
+	if code := run([]string{"-format", "sarif", "./..."}, &out); code != 0 {
+		t.Fatalf("relquerylint -format=sarif ./... = exit %d, want 0:\n%s", code, out.String())
+	}
+	var log struct {
+		Version string `json:"version"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name  string            `json:"name"`
+					Rules []json.RawMessage `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []json.RawMessage `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &log); err != nil {
+		t.Fatalf("output is not JSON: %v", err)
+	}
+	if log.Version != "2.1.0" || len(log.Runs) != 1 {
+		t.Fatalf("want one SARIF 2.1.0 run, got version %q with %d runs", log.Version, len(log.Runs))
+	}
+	if got, want := len(log.Runs[0].Tool.Driver.Rules), len(analysis.All()); got != want {
+		t.Errorf("SARIF rules = %d, want one per analyzer (%d)", got, want)
+	}
+	if n := len(log.Runs[0].Results); n != 0 {
+		t.Errorf("clean module produced %d SARIF results, want 0", n)
+	}
+}
+
+// TestBaselineRatchet: a stale baseline entry (recorded finding that no
+// longer fires) must fail the run — the ledger only shrinks — and an
+// empty baseline must pass a clean tree.
+func TestBaselineRatchet(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole module")
+	}
+	chdirModuleRoot(t)
+	dir := t.TempDir()
+
+	stale := filepath.Join(dir, "stale.baseline")
+	content := "# relquerylint baseline v1\n" +
+		"govloop\tinternal/join/join.go\trange over tuples has no reachable governor Tick/Check: long since fixed\n"
+	if err := os.WriteFile(stale, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if code := run([]string{"-baseline", stale, "./..."}, &out); code != 1 {
+		t.Errorf("stale baseline entry = exit %d, want 1 (ratchet must force regeneration)", code)
+	}
+
+	empty := filepath.Join(dir, "empty.baseline")
+	if err := os.WriteFile(empty, []byte("# relquerylint baseline v1\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	if code := run([]string{"-baseline", empty, "./..."}, &out); code != 0 {
+		t.Errorf("empty baseline on clean tree = exit %d, want 0:\n%s", code, out.String())
+	}
+}
+
+// TestWriteBaseline: -write-baseline round-trips — the written file
+// loads, carries the version header, and (on a clean tree) records
+// nothing.
+func TestWriteBaseline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole module")
+	}
+	chdirModuleRoot(t)
+	path := filepath.Join(t.TempDir(), "lint.baseline")
+	var out bytes.Buffer
+	if code := run([]string{"-baseline", path, "-write-baseline", "./..."}, &out); code != 0 {
+		t.Fatalf("-write-baseline = exit %d, want 0:\n%s", code, out.String())
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "# relquerylint baseline v1") {
+		t.Errorf("baseline missing version header:\n%s", data)
+	}
+	b, err := framework.LoadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Len() != 0 {
+		t.Errorf("clean tree wrote %d baseline entries, want 0", b.Len())
 	}
 }
 
 func TestListFlag(t *testing.T) {
-	if code := run([]string{"-list"}); code != 0 {
+	var out bytes.Buffer
+	if code := run([]string{"-list"}, &out); code != 0 {
 		t.Fatalf("relquerylint -list = exit %d, want 0", code)
+	}
+	for _, name := range []string{"govloop", "nilrecv", "sentinelmap", "spanfield"} {
+		if !strings.Contains(out.String(), name) {
+			t.Errorf("-list output missing %s", name)
+		}
 	}
 }
 
 func TestBadFlag(t *testing.T) {
-	if code := run([]string{"-no-such-flag"}); code != 2 {
+	if code := run([]string{"-no-such-flag"}, nil); code != 2 {
 		t.Fatalf("bad flag = exit %d, want 2", code)
+	}
+}
+
+func TestBadFormat(t *testing.T) {
+	if code := run([]string{"-format", "xml"}, nil); code != 2 {
+		t.Fatalf("bad format = exit %d, want 2", code)
 	}
 }
 
 func TestBadPattern(t *testing.T) {
 	chdirModuleRoot(t)
-	if code := run([]string{"./no/such/dir/..."}); code != 2 {
+	if code := run([]string{"./no/such/dir/..."}, nil); code != 2 {
 		t.Fatalf("bad pattern = exit %d, want 2", code)
 	}
 }

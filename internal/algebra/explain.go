@@ -58,7 +58,7 @@ func explainNode(ev *Evaluator, e Expr, db relation.Database, b *strings.Builder
 	if err != nil {
 		return nil, err
 	}
-	fmt.Fprintf(b, "%s%-42s rows=%d\n", prefix, label, rel.Len())
+	fmt.Fprintf(b, "%s%-42s "+obs.FieldRows+"=%d\n", prefix, label, rel.Len())
 	for i, c := range children {
 		connector, nextIndent := "├─ ", "│  "
 		if i == len(children)-1 {
@@ -149,7 +149,7 @@ func RenderTrace(t *obs.Trace) string {
 		for _, vc := range m.ViolationCounts() {
 			fmt.Fprintf(&b, " %s=%d", vc.Kind, vc.Count)
 		}
-		fmt.Fprintf(&b, " degraded=%d\n", m.DegradedEvals)
+		fmt.Fprintf(&b, " "+obs.FieldDegraded+"=%d\n", m.DegradedEvals)
 	}
 	return b.String()
 }
@@ -159,41 +159,41 @@ func renderSpan(b *strings.Builder, sp *obs.Span, prefix, childPrefix string) {
 	if sp == nil {
 		return
 	}
-	fmt.Fprintf(b, "%s%-42s rows=%d width=%d wall=%s",
+	fmt.Fprintf(b, "%s%-42s "+obs.FieldRows+"=%d "+obs.FieldWidth+"=%d "+obs.FieldWall+"=%s",
 		prefix, sp.Label, sp.OutputRows, sp.SchemeWidth,
 		sp.Wall().Round(time.Microsecond))
 	if len(sp.InputRows) > 0 {
-		fmt.Fprintf(b, " in=%v", sp.InputRows)
+		fmt.Fprintf(b, " "+obs.FieldInputs+"=%v", sp.InputRows)
 	}
 	if sp.Algorithm != "" {
-		fmt.Fprintf(b, " alg=%s", sp.Algorithm)
+		fmt.Fprintf(b, " "+obs.FieldAlg+"=%s", sp.Algorithm)
 	}
 	if sp.Workers > 0 {
-		fmt.Fprintf(b, " workers=%d", sp.Workers)
+		fmt.Fprintf(b, " "+obs.FieldWorkers+"=%d", sp.Workers)
 	}
 	if sp.Structure != "" {
-		fmt.Fprintf(b, " structure=%s", sp.Structure)
+		fmt.Fprintf(b, " "+obs.FieldStructure+"=%s", sp.Structure)
 	}
 	if sp.Candidates > 0 || sp.Intersections > 0 {
-		fmt.Fprintf(b, " candidates=%d intersections=%d", sp.Candidates, sp.Intersections)
+		fmt.Fprintf(b, " "+obs.FieldCandidates+"=%d "+obs.FieldIntersections+"=%d", sp.Candidates, sp.Intersections)
 	}
 	if sp.Semijoins > 0 {
-		fmt.Fprintf(b, " semijoins=%d reduced=%d", sp.Semijoins, sp.ReducedRows)
+		fmt.Fprintf(b, " "+obs.FieldSemijoins+"=%d "+obs.FieldReduced+"=%d", sp.Semijoins, sp.ReducedRows)
 	}
 	if sp.MaxIntermediate > sp.OutputRows {
-		fmt.Fprintf(b, " peak=%d", sp.MaxIntermediate)
+		fmt.Fprintf(b, " "+obs.FieldPeak+"=%d", sp.MaxIntermediate)
 	}
 	if sp.AGMBound > 0 {
-		fmt.Fprintf(b, " agm≤%.4g", sp.AGMBound)
+		fmt.Fprintf(b, " "+obs.FieldAGM+"≤%.4g", sp.AGMBound)
 	}
 	if sp.Cache != "" {
-		fmt.Fprintf(b, " cache=%s", sp.Cache)
+		fmt.Fprintf(b, " "+obs.FieldCache+"=%s", sp.Cache)
 	}
 	if sp.Degraded {
-		b.WriteString(" degraded")
+		b.WriteString(" " + obs.FieldDegraded)
 	}
 	if sp.Err != "" {
-		fmt.Fprintf(b, " error=%q", sp.Err)
+		fmt.Fprintf(b, " "+obs.FieldError+"=%q", sp.Err)
 	}
 	b.WriteByte('\n')
 	for i, c := range sp.Children {

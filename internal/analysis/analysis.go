@@ -12,7 +12,11 @@ import (
 	"relquery/internal/analysis/deprecatedban"
 	"relquery/internal/analysis/errwrapcheck"
 	"relquery/internal/analysis/framework"
+	"relquery/internal/analysis/govloop"
+	"relquery/internal/analysis/nilrecv"
 	"relquery/internal/analysis/schemecanon"
+	"relquery/internal/analysis/sentinelmap"
+	"relquery/internal/analysis/spanfield"
 	"relquery/internal/analysis/tuplealias"
 )
 
@@ -22,7 +26,11 @@ func All() []*framework.Analyzer {
 		atomicobs.Analyzer,
 		deprecatedban.Analyzer,
 		errwrapcheck.Analyzer,
+		govloop.Analyzer,
+		nilrecv.Analyzer,
 		schemecanon.Analyzer,
+		sentinelmap.Analyzer,
+		spanfield.Analyzer,
 		tuplealias.Analyzer,
 	}
 }

@@ -19,7 +19,10 @@ func TestAll(t *testing.T) {
 		}
 		seen[a.Name] = true
 	}
-	for _, name := range []string{"atomicobs", "deprecatedban", "errwrapcheck", "schemecanon", "tuplealias"} {
+	for _, name := range []string{
+		"atomicobs", "deprecatedban", "errwrapcheck", "govloop", "nilrecv",
+		"schemecanon", "sentinelmap", "spanfield", "tuplealias",
+	} {
 		if !seen[name] {
 			t.Errorf("analyzer %s missing from suite", name)
 		}

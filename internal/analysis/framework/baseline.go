@@ -1,0 +1,137 @@
+package framework
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+)
+
+// A Baseline is the committed debt ledger of the lint suite: findings
+// recorded in it warn instead of failing, so an analyzer can land before
+// its last paydown commit — but the ledger only ratchets down. A finding
+// is keyed by analyzer, repository-relative file and message, never by
+// line number: unrelated edits move lines, and a baseline that churns on
+// every edit stops being reviewable. Identical findings in one file are
+// counted, so adding a second instance of a baselined bug still fails.
+type Baseline struct {
+	counts map[string]int
+}
+
+// baselineHeader starts every baseline file; Load rejects files without
+// it so a stray file cannot silently waive findings.
+const baselineHeader = "# relquerylint baseline v1"
+
+func baselineKey(analyzer, relPath, message string) string {
+	return analyzer + "\t" + relPath + "\t" + message
+}
+
+// Len reports the number of baselined findings (counting duplicates).
+func (b *Baseline) Len() int {
+	n := 0
+	if b != nil {
+		for _, c := range b.counts {
+			n += c
+		}
+	}
+	return n
+}
+
+// LoadBaseline reads a baseline file. A missing file is an empty
+// baseline — the ratchet's natural starting point — not an error.
+func LoadBaseline(path string) (*Baseline, error) {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return &Baseline{}, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadBaseline(f)
+}
+
+// ReadBaseline parses the baseline format: the version header, then one
+// finding per line as "analyzer\tfile\tmessage". Blank lines and #
+// comments are ignored.
+func ReadBaseline(r io.Reader) (*Baseline, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	b := &Baseline{counts: make(map[string]int)}
+	first := true
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimRight(sc.Text(), "\r\n")
+		if first {
+			if text != baselineHeader {
+				return nil, fmt.Errorf("baseline: missing %q header (got %q)", baselineHeader, text)
+			}
+			first = false
+			continue
+		}
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		parts := strings.SplitN(text, "\t", 3)
+		if len(parts) != 3 {
+			return nil, fmt.Errorf("baseline line %d: want analyzer\\tfile\\tmessage, got %q", line, text)
+		}
+		b.counts[baselineKey(parts[0], parts[1], parts[2])]++
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if first {
+		return nil, fmt.Errorf("baseline: empty file (want %q header)", baselineHeader)
+	}
+	return b, nil
+}
+
+// Apply splits diagnostics against the baseline: fresh findings (must
+// fail), baselined findings (warn), and the number of stale baseline
+// entries that no longer fire (the ratchet's shrink signal — regenerate
+// the file to claim the progress). Paths are keyed relative to root.
+func (b *Baseline) Apply(diags []Diagnostic, root string) (fresh, baselined []Diagnostic, stale int) {
+	remaining := make(map[string]int, len(b.counts))
+	if b != nil {
+		for k, c := range b.counts {
+			remaining[k] = c
+		}
+	}
+	for _, d := range diags {
+		key := baselineKey(d.Analyzer, RelPath(root, d.Pos.Filename), d.Message)
+		if remaining[key] > 0 {
+			remaining[key]--
+			baselined = append(baselined, d)
+		} else {
+			fresh = append(fresh, d)
+		}
+	}
+	for _, c := range remaining {
+		stale += c
+	}
+	return fresh, baselined, stale
+}
+
+// WriteBaseline writes diagnostics in the baseline format, sorted for
+// stable diffs, with paths relative to root.
+func WriteBaseline(w io.Writer, diags []Diagnostic, root string) error {
+	lines := make([]string, 0, len(diags))
+	for _, d := range diags {
+		msg := strings.ReplaceAll(d.Message, "\t", " ")
+		lines = append(lines, d.Analyzer+"\t"+RelPath(root, d.Pos.Filename)+"\t"+msg)
+	}
+	sort.Strings(lines)
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, baselineHeader)
+	fmt.Fprintln(bw, "# One waived finding per line: analyzer<TAB>file<TAB>message.")
+	fmt.Fprintln(bw, "# The ratchet only shrinks: new findings fail, entries here warn.")
+	fmt.Fprintln(bw, "# Regenerate with: go run ./cmd/relquerylint -write-baseline ./...")
+	for _, l := range lines {
+		fmt.Fprintln(bw, l)
+	}
+	return bw.Flush()
+}

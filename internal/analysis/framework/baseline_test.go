@@ -1,0 +1,128 @@
+package framework
+
+import (
+	"bytes"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func diag(analyzer, file string, line int, msg string) Diagnostic {
+	return Diagnostic{
+		Pos:      token.Position{Filename: file, Line: line, Column: 1},
+		Analyzer: analyzer,
+		Message:  msg,
+	}
+}
+
+func TestBaselineRoundTrip(t *testing.T) {
+	root := "/repo"
+	diags := []Diagnostic{
+		diag("govloop", "/repo/internal/join/join.go", 10, "loop has no tick"),
+		diag("govloop", "/repo/internal/join/join.go", 20, "loop has no tick"),
+		diag("nilrecv", "/repo/internal/obs/trace.go", 5, "deref before guard"),
+	}
+	var buf bytes.Buffer
+	if err := WriteBaseline(&buf, diags, root); err != nil {
+		t.Fatal(err)
+	}
+	b, err := ReadBaseline(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Len() != 3 {
+		t.Fatalf("round-trip Len = %d, want 3", b.Len())
+	}
+
+	// Everything recorded: all baselined, nothing fresh or stale.
+	fresh, baselined, stale := b.Apply(diags, root)
+	if len(fresh) != 0 || len(baselined) != 3 || stale != 0 {
+		t.Errorf("Apply(all recorded) = %d fresh, %d baselined, %d stale; want 0/3/0",
+			len(fresh), len(baselined), stale)
+	}
+}
+
+// TestBaselineRatchet: the key is analyzer+file+message with duplicate
+// counting — a second instance of a baselined finding is fresh, and a
+// fixed finding leaves a stale entry.
+func TestBaselineRatchet(t *testing.T) {
+	root := "/repo"
+	recorded := []Diagnostic{
+		diag("govloop", "/repo/a.go", 10, "loop has no tick"),
+		diag("nilrecv", "/repo/b.go", 5, "deref before guard"),
+	}
+	var buf bytes.Buffer
+	if err := WriteBaseline(&buf, recorded, root); err != nil {
+		t.Fatal(err)
+	}
+	b, err := ReadBaseline(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The nilrecv finding is fixed; the govloop one now fires twice
+	// (lines moved — only the count matters) plus a brand-new finding.
+	now := []Diagnostic{
+		diag("govloop", "/repo/a.go", 11, "loop has no tick"),
+		diag("govloop", "/repo/a.go", 30, "loop has no tick"),
+		diag("spanfield", "/repo/c.go", 1, "literal duplicates table"),
+	}
+	fresh, baselined, stale := b.Apply(now, root)
+	if len(baselined) != 1 {
+		t.Errorf("baselined = %d, want 1 (count, not line, matches)", len(baselined))
+	}
+	if len(fresh) != 2 {
+		t.Errorf("fresh = %d, want 2 (duplicate instance + new analyzer)", len(fresh))
+	}
+	if stale != 1 {
+		t.Errorf("stale = %d, want 1 (the fixed nilrecv entry)", stale)
+	}
+}
+
+func TestBaselineMissingFileIsEmpty(t *testing.T) {
+	b, err := LoadBaseline("testdata/does-not-exist.baseline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Len() != 0 {
+		t.Errorf("missing file Len = %d, want 0", b.Len())
+	}
+	fresh, baselined, stale := b.Apply([]Diagnostic{diag("x", "/f.go", 1, "m")}, "/")
+	if len(fresh) != 1 || len(baselined) != 0 || stale != 0 {
+		t.Errorf("empty baseline Apply = %d/%d/%d, want 1/0/0", len(fresh), len(baselined), stale)
+	}
+}
+
+// TestBaselineRejectsHeaderless: a stray file must not silently waive
+// findings.
+func TestBaselineRejectsHeaderless(t *testing.T) {
+	for _, content := range []string{
+		"",
+		"govloop\ta.go\tmessage\n",
+		"# some other file\n",
+	} {
+		if _, err := ReadBaseline(strings.NewReader(content)); err == nil {
+			t.Errorf("ReadBaseline(%q) accepted a file without the version header", content)
+		}
+	}
+}
+
+func TestBaselineRejectsMalformedLine(t *testing.T) {
+	content := "# relquerylint baseline v1\nnot-three-fields\n"
+	if _, err := ReadBaseline(strings.NewReader(content)); err == nil {
+		t.Error("ReadBaseline accepted a line without analyzer\\tfile\\tmessage fields")
+	}
+}
+
+func TestRelPath(t *testing.T) {
+	cases := []struct{ root, path, want string }{
+		{"/repo", "/repo/internal/a.go", "internal/a.go"},
+		{"/repo", "/elsewhere/b.go", "/elsewhere/b.go"},
+		{"", "/abs/c.go", "/abs/c.go"},
+	}
+	for _, c := range cases {
+		if got := RelPath(c.root, c.path); got != c.want {
+			t.Errorf("RelPath(%q, %q) = %q, want %q", c.root, c.path, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,72 @@
+package framework
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// A Directive is one //lint: suppression comment: a verb naming the
+// check being waived ("ungoverned") and the mandatory human-readable
+// reason that follows it. Analyzers honor directives only on the line
+// of the construct they guard or on the line immediately above it, so a
+// waiver cannot silently cover more code than its author saw.
+type Directive struct {
+	// Verb is the word after "lint:" ("ungoverned").
+	Verb string
+	// Reason is the rest of the comment, trimmed. Analyzers must reject
+	// directives with an empty reason: a waiver without a why is a
+	// finding of its own.
+	Reason string
+	// Pos is the directive comment's position.
+	Pos token.Pos
+	// Line is the resolved source line of the comment.
+	Line int
+}
+
+// directivePrefix introduces a suppression comment. The space-less form
+// mirrors //go:build and //nolint: a directive is machine syntax, not
+// prose.
+const directivePrefix = "//lint:"
+
+// Directives extracts every //lint: comment from file, keyed by source
+// line. A directive shares its line with the construct it waives (or
+// sits on the line above it — see Directive).
+func Directives(fset *token.FileSet, file *ast.File) map[int]Directive {
+	var out map[int]Directive
+	for _, group := range file.Comments {
+		for _, c := range group.List {
+			text, ok := strings.CutPrefix(c.Text, directivePrefix)
+			if !ok {
+				continue
+			}
+			verb, reason, _ := strings.Cut(text, " ")
+			pos := fset.Position(c.Pos())
+			if out == nil {
+				out = make(map[int]Directive)
+			}
+			out[pos.Line] = Directive{
+				Verb:   verb,
+				Reason: strings.TrimSpace(reason),
+				Pos:    c.Pos(),
+				Line:   pos.Line,
+			}
+		}
+	}
+	return out
+}
+
+// DirectiveFor looks up a directive with the given verb covering the
+// node: on the node's starting line or the line immediately above it.
+func DirectiveFor(fset *token.FileSet, dirs map[int]Directive, n ast.Node, verb string) (Directive, bool) {
+	if len(dirs) == 0 {
+		return Directive{}, false
+	}
+	line := fset.Position(n.Pos()).Line
+	for _, l := range [2]int{line, line - 1} {
+		if d, ok := dirs[l]; ok && d.Verb == verb {
+			return d, true
+		}
+	}
+	return Directive{}, false
+}

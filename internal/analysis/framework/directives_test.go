@@ -1,0 +1,95 @@
+package framework
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+const directiveSrc = `package p
+
+func f(xs []int) {
+	//lint:ungoverned bounded by the caller's batch size
+	for range xs {
+	}
+	//lint:ungoverned
+	for range xs {
+	}
+	for range xs { //lint:other same line, different verb
+	}
+}
+`
+
+func parseOne(t *testing.T, src string) (*token.FileSet, *ast.File) {
+	t.Helper()
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fset, file
+}
+
+func TestDirectives(t *testing.T) {
+	fset, file := parseOne(t, directiveSrc)
+	dirs := Directives(fset, file)
+	if len(dirs) != 3 {
+		t.Fatalf("parsed %d directives, want 3: %v", len(dirs), dirs)
+	}
+
+	var loops []*ast.RangeStmt
+	ast.Inspect(file, func(n ast.Node) bool {
+		if r, ok := n.(*ast.RangeStmt); ok {
+			loops = append(loops, r)
+		}
+		return true
+	})
+	if len(loops) != 3 {
+		t.Fatalf("parsed %d loops, want 3", len(loops))
+	}
+
+	// Line above, with reason.
+	d, ok := DirectiveFor(fset, dirs, loops[0], "ungoverned")
+	if !ok || d.Reason != "bounded by the caller's batch size" {
+		t.Errorf("loop 1: got %+v, %v; want ungoverned with reason", d, ok)
+	}
+	// Line above, reason missing: found, but empty — the analyzer's cue
+	// to report the waiver itself.
+	d, ok = DirectiveFor(fset, dirs, loops[1], "ungoverned")
+	if !ok || d.Reason != "" {
+		t.Errorf("loop 2: got %+v, %v; want ungoverned with empty reason", d, ok)
+	}
+	// Same line, but a different verb must not match.
+	if _, ok := DirectiveFor(fset, dirs, loops[2], "ungoverned"); ok {
+		t.Error("loop 3: verb 'other' matched lookup for 'ungoverned'")
+	}
+	if d, ok := DirectiveFor(fset, dirs, loops[2], "other"); !ok || d.Reason != "same line, different verb" {
+		t.Errorf("loop 3: got %+v, %v; want same-line 'other' directive", d, ok)
+	}
+}
+
+// TestDirectiveDistance: a directive two lines up covers nothing — a
+// waiver cannot drift away from the construct it waives.
+func TestDirectiveDistance(t *testing.T) {
+	fset, file := parseOne(t, `package p
+
+func f(xs []int) {
+	//lint:ungoverned too far away
+
+	for range xs {
+	}
+}
+`)
+	dirs := Directives(fset, file)
+	var loop *ast.RangeStmt
+	ast.Inspect(file, func(n ast.Node) bool {
+		if r, ok := n.(*ast.RangeStmt); ok {
+			loop = r
+		}
+		return true
+	})
+	if _, ok := DirectiveFor(fset, dirs, loop, "ungoverned"); ok {
+		t.Error("directive two lines above the loop matched; must only cover the line and line-1")
+	}
+}

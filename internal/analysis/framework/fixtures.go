@@ -179,6 +179,14 @@ func parseWants(fset *token.FileSet, pkgs []*Package) ([]*want, error) {
 					}
 					pos := fset.Position(c.Pos())
 					rest := strings.TrimSpace(m[1])
+					if rest == "" {
+						// A bare `// want` expects nothing, matching the
+						// no-comment case exactly: the fixture would pass
+						// vacuously whatever the analyzer does. Fail loudly
+						// instead — a malformed expectation is a harness
+						// bug, not a clean run.
+						return nil, fmt.Errorf("%s: want comment carries no pattern (write `// want \"regexp\"`)", pos)
+					}
 					for rest != "" {
 						quote := rest[0]
 						if quote != '"' && quote != '`' {

@@ -1,0 +1,67 @@
+package framework
+
+import (
+	"go/ast"
+	"strings"
+	"testing"
+)
+
+func wantsFor(t *testing.T, src string) ([]*want, error) {
+	t.Helper()
+	fset, file := parseOne(t, src)
+	return parseWants(fset, []*Package{{Files: []*ast.File{file}}})
+}
+
+func TestParseWants(t *testing.T) {
+	wants, err := wantsFor(t, `package p
+
+var a = 1 // want "first" `+"`second (pattern)`"+`
+var b = 2 // unrelated comment
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wants) != 2 {
+		t.Fatalf("parsed %d wants, want 2", len(wants))
+	}
+	if wants[0].raw != "first" || wants[1].raw != "second (pattern)" {
+		t.Errorf("patterns = %q, %q", wants[0].raw, wants[1].raw)
+	}
+	if wants[0].line != 3 || wants[1].line != 3 {
+		t.Errorf("lines = %d, %d, want both 3", wants[0].line, wants[1].line)
+	}
+}
+
+// TestParseWantsBareComment: a `// want` with no pattern expects
+// nothing and would pass vacuously whatever the analyzer does — the
+// harness must fail loudly instead of silently blessing the fixture.
+func TestParseWantsBareComment(t *testing.T) {
+	for _, src := range []string{
+		"package p\n\nvar a = 1 // want\n",
+		"package p\n\nvar a = 1 // want   \n",
+	} {
+		_, err := wantsFor(t, src)
+		if err == nil {
+			t.Errorf("bare want comment in %q parsed without error", src)
+			continue
+		}
+		if !strings.Contains(err.Error(), "carries no pattern") {
+			t.Errorf("bare want error = %v, want 'carries no pattern'", err)
+		}
+	}
+}
+
+// TestParseWantsMalformed: unquoted, unterminated, and non-compiling
+// patterns are harness bugs, not clean runs.
+func TestParseWantsMalformed(t *testing.T) {
+	cases := map[string]string{
+		"unquoted":     "package p\n\nvar a = 1 // want pattern-without-quotes\n",
+		"unterminated": "package p\n\nvar a = 1 // want \"no closing quote\n",
+		"bad regexp":   "package p\n\nvar a = 1 // want \"(unclosed\"\n",
+	}
+	for name, src := range cases {
+		if _, err := wantsFor(t, src); err == nil {
+			t.Errorf("%s want comment parsed without error", name)
+		}
+	}
+}

@@ -1,0 +1,139 @@
+package framework
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Reachability answers "can this piece of syntax reach one of the
+// target functions?" for one package: a call reaches a target when its
+// callee is a target itself, or is a same-package function whose body
+// (transitively, through other same-package functions) calls one.
+// Cross-package callees other than the targets are opaque — their
+// bodies are not loaded — so reachability through them is not assumed;
+// analyzers add their own domain rules for those (govloop, for example,
+// treats passing a governor into a call as delegation).
+//
+// The relation is an over-approximation in the usual static sense: a
+// call counts even when it sits on a conditionally-executed path.
+type Reachability struct {
+	pass     *Pass
+	isTarget func(*types.Func) bool
+	// reaches marks same-package functions (including methods) whose
+	// bodies transitively contain a target call.
+	reaches map[*types.Func]bool
+}
+
+// NewReachability builds the package-level closure for pass. isTarget
+// classifies the interesting callees (typically by receiver type and
+// method name).
+func NewReachability(pass *Pass, isTarget func(*types.Func) bool) *Reachability {
+	r := &Reachability{
+		pass:     pass,
+		isTarget: isTarget,
+		reaches:  make(map[*types.Func]bool),
+	}
+
+	// Collect each declared function's direct same-package callees and
+	// whether it calls a target directly. Calls inside function literals
+	// count toward the enclosing declaration: a callback's body runs on
+	// behalf of its creator.
+	type node struct {
+		direct  bool
+		callees []*types.Func
+	}
+	graph := make(map[*types.Func]node)
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := pass.Info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			var n node
+			ast.Inspect(fd.Body, func(x ast.Node) bool {
+				call, ok := x.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				callee := r.Callee(call)
+				if callee == nil {
+					return true
+				}
+				if r.isTarget(callee) {
+					n.direct = true
+				} else if callee.Pkg() == pass.Pkg {
+					n.callees = append(n.callees, callee)
+				}
+				return true
+			})
+			graph[fn] = n
+		}
+	}
+
+	// Propagate to a fixpoint over the package-local call graph.
+	for fn, n := range graph {
+		if n.direct {
+			r.reaches[fn] = true
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for fn, n := range graph {
+			if r.reaches[fn] {
+				continue
+			}
+			for _, callee := range n.callees {
+				if r.reaches[callee] {
+					r.reaches[fn] = true
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	return r
+}
+
+// Callee resolves a call expression to the *types.Func it invokes, or
+// nil for indirect calls (function values, builtins, conversions).
+func (r *Reachability) Callee(call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := r.pass.Info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := r.pass.Info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// CallReaches reports whether one call reaches a target: the callee is
+// a target, or a same-package function that transitively calls one.
+func (r *Reachability) CallReaches(call *ast.CallExpr) bool {
+	callee := r.Callee(call)
+	if callee == nil {
+		return false
+	}
+	return r.isTarget(callee) || r.reaches[callee]
+}
+
+// Reaches reports whether any call under n reaches a target.
+func (r *Reachability) Reaches(n ast.Node) bool {
+	found := false
+	ast.Inspect(n, func(x ast.Node) bool {
+		if found {
+			return false
+		}
+		if call, ok := x.(*ast.CallExpr); ok && r.CallReaches(call) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,19 @@
+package govloop_test
+
+import (
+	"testing"
+
+	"relquery/internal/analysis/framework"
+	"relquery/internal/analysis/govloop"
+)
+
+func TestGovloop(t *testing.T) {
+	framework.RunFixtures(t, "testdata", govloop.Analyzer, "join")
+}
+
+// TestGovloopClean is the negative fixture: a fully governed engine
+// package produces no findings (RunFixtures fails on any unexpected
+// diagnostic).
+func TestGovloopClean(t *testing.T) {
+	framework.RunFixtures(t, "testdata", govloop.Analyzer, "algebra")
+}

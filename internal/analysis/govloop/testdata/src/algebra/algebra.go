@@ -1,0 +1,32 @@
+// Negative fixture for govloop: an engine package whose every tuple
+// loop is governed. No findings expected.
+package algebra
+
+import (
+	"relquery/internal/governor"
+	"relquery/internal/relation"
+)
+
+func Materialize(g *governor.Governor, rows []relation.Tuple) ([]relation.Tuple, error) {
+	out := make([]relation.Tuple, 0, len(rows))
+	for _, t := range rows {
+		if err := g.Tick(); err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+	}
+	return out, nil
+}
+
+func Copy(g *governor.Governor, r *relation.Relation) ([]relation.Tuple, error) {
+	var out []relation.Tuple
+	var err error
+	r.Each(func(t relation.Tuple) bool {
+		if err = g.Tick(); err != nil {
+			return false
+		}
+		out = append(out, t)
+		return true
+	})
+	return out, err
+}

@@ -1,0 +1,18 @@
+package nilrecv_test
+
+import (
+	"testing"
+
+	"relquery/internal/analysis/framework"
+	"relquery/internal/analysis/nilrecv"
+)
+
+func TestNilrecv(t *testing.T) {
+	framework.RunFixtures(t, "testdata", nilrecv.Analyzer, "obs")
+}
+
+// TestNilrecvClean is the negative fixture: a fully guarded contract
+// type produces no findings.
+func TestNilrecvClean(t *testing.T) {
+	framework.RunFixtures(t, "testdata", nilrecv.Analyzer, "fault")
+}

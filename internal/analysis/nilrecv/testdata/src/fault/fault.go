@@ -1,0 +1,29 @@
+// Negative fixture for nilrecv: a contract type whose every exported
+// method honors the nil-receiver no-op contract. No findings expected.
+package fault
+
+type Script struct {
+	rules []string
+	count int
+}
+
+func (s *Script) Count() int {
+	if s == nil {
+		return 0
+	}
+	return s.count
+}
+
+func (s *Script) Fire() {
+	if s == nil {
+		return
+	}
+	s.count++
+}
+
+func (s *Script) Rules() []string {
+	if s == nil {
+		return nil
+	}
+	return s.rules
+}

@@ -1,0 +1,91 @@
+// Fixture for nilrecv: a package modeling the observability layer's
+// nil-receiver no-op contract types.
+package obs
+
+type Collector struct {
+	spans []int
+	on    bool
+}
+
+// Guarded is the contract's canonical shape.
+func (c *Collector) Guarded() int {
+	if c == nil {
+		return 0
+	}
+	return len(c.spans)
+}
+
+// Unguarded dereferences straight away.
+func (c *Collector) Unguarded() int {
+	return len(c.spans) // want `\(\*Collector\)\.Unguarded dereferences the receiver before the nil guard`
+}
+
+// ChainGuard: later || operands may dereference freely.
+func (c *Collector) ChainGuard() int {
+	if c == nil || len(c.spans) == 0 {
+		return 0
+	}
+	return len(c.spans)
+}
+
+// WrapperGuard: the non-nil branch owns every dereference.
+func (c *Collector) WrapperGuard() {
+	if c != nil {
+		c.on = true
+	}
+}
+
+// DerefAfterWrapper leaks past the wrapper: c may still be nil on the
+// return statement.
+func (c *Collector) DerefAfterWrapper() bool {
+	if c != nil {
+		c.on = true
+	}
+	return c.on // want `\(\*Collector\)\.DerefAfterWrapper dereferences the receiver before the nil guard`
+}
+
+// ElseDeref dereferences on the proven-nil path.
+func (c *Collector) ElseDeref() int {
+	if c != nil {
+		return len(c.spans)
+	} else {
+		return len(c.spans) // want `\(\*Collector\)\.ElseDeref dereferences the receiver before the nil guard`
+	}
+}
+
+// Delegate only forwards the receiver: the callee owns the nil check.
+func (c *Collector) Delegate() {
+	use(c)
+}
+
+// Chained delegates to a pointer-receiver method, which guards itself.
+func (c *Collector) Chained() int {
+	return c.Guarded()
+}
+
+// unguardedInternal is unexported: outside the contract (callers inside
+// the package guard for it).
+func (c *Collector) unguardedInternal() int {
+	return len(c.spans)
+}
+
+func use(c *Collector) {}
+
+type Trace struct {
+	id int
+}
+
+// ID has a value receiver: calling it auto-dereferences the pointer.
+func (t Trace) ID() int { return t.id }
+
+// Describe trips the implicit dereference of the value-receiver call.
+func (t *Trace) Describe() int {
+	return t.ID() // want `\(\*Trace\)\.Describe dereferences the receiver before the nil guard`
+}
+
+type Registry struct {
+	n int
+}
+
+// Blank receivers cannot dereference: exempt.
+func (*Registry) Kind() string { return "registry" }

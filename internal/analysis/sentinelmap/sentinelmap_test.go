@@ -1,0 +1,18 @@
+package sentinelmap_test
+
+import (
+	"testing"
+
+	"relquery/internal/analysis/framework"
+	"relquery/internal/analysis/sentinelmap"
+)
+
+func TestSentinelmap(t *testing.T) {
+	framework.RunFixtures(t, "testdata", sentinelmap.Analyzer, "srv")
+}
+
+// TestSentinelmapClean is the negative fixture: a complete mapping with
+// ordered writes produces no findings.
+func TestSentinelmapClean(t *testing.T) {
+	framework.RunFixtures(t, "testdata", sentinelmap.Analyzer, "srvok")
+}

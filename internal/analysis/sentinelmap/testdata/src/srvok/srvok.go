@@ -1,0 +1,27 @@
+// Negative fixture for sentinelmap: every sentinel mapped, every write
+// ordered. No findings expected.
+package srvok
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+
+	"relquery/internal/governor"
+)
+
+func WriteErr(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, governor.ErrAdmission):
+		w.WriteHeader(http.StatusTooManyRequests)
+	case errors.Is(err, governor.ErrDeadline):
+		w.WriteHeader(http.StatusGatewayTimeout)
+	case errors.Is(err, governor.ErrRowBudget), errors.Is(err, governor.ErrMemBudget):
+		w.WriteHeader(http.StatusRequestEntityTooLarge)
+	case errors.Is(err, governor.ErrCanceled):
+		w.WriteHeader(499)
+	default:
+		w.WriteHeader(http.StatusBadRequest)
+	}
+	fmt.Fprintf(w, "error: %v", err)
+}

@@ -1,0 +1,196 @@
+// Package spanfield enforces the canonical observability string table.
+// Span-field keys and metric series names cross four renderers — the
+// Chrome trace exporter, the Prometheus exposition, relqueryd's server
+// metrics, and EXPLAIN ANALYZE — plus the dashboards and CI smoke
+// tests that scrape them. A key spelled inline in one renderer drifts
+// silently: rename the constant and the stray literal keeps emitting
+// the old name, so a panel goes blank with no compile error and no
+// failing test. internal/obs/fields.go (the Field* and Series*
+// constants) is the single source of truth; this analyzer bans
+// shadow spellings of those names in the rendering packages.
+//
+// Three literal shapes are flagged in non-test files of the obs,
+// telemetry, algebra, and server packages: a string equal to a
+// canonical field key (all keys in obs and telemetry, where every
+// string in key position is observability vocabulary; only the
+// unambiguous underscore-bearing keys elsewhere, so JSON field names
+// like "error" stay usable), a string containing a `key=` token of the
+// EXPLAIN format, and any string in the reserved relquery_/relqueryd_
+// series namespaces. Import paths, struct tags, and the canonical
+// table's own declarations are exempt.
+package spanfield
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strconv"
+	"strings"
+
+	"relquery/internal/analysis/framework"
+)
+
+// renderPkgs are the package names whose literals are policed.
+var renderPkgs = map[string]bool{
+	"obs":       true,
+	"telemetry": true,
+	"algebra":   true,
+	"server":    true,
+}
+
+var Analyzer = &framework.Analyzer{
+	Name: "spanfield",
+	Doc:  "span-field keys and metric series names in rendering packages must come from the canonical obs string table",
+	Run:  run,
+}
+
+const (
+	enginePrefix = "relquery_"
+	serverPrefix = "relqueryd_"
+)
+
+func run(pass *framework.Pass) error {
+	if !renderPkgs[pass.Pkg.Name()] {
+		return nil
+	}
+	fields, series := reservedNames(pass)
+	if len(fields) == 0 && len(series) == 0 {
+		return nil
+	}
+	// In the vocabulary-owning packages every reserved key is banned as
+	// a literal; elsewhere only underscore-bearing keys are unambiguous
+	// enough to ban by equality.
+	strictEquality := pass.Pkg.Name() == "obs" || pass.Pkg.Name() == "telemetry"
+	for _, file := range pass.Files {
+		if strings.HasSuffix(pass.Fset.Position(file.Pos()).Filename, "_test.go") {
+			continue
+		}
+		checkFile(pass, file, fields, series, strictEquality)
+	}
+	return nil
+}
+
+// reservedNames collects the canonical table: exported string constants
+// named Field* (value → constant name) and Series* (value → constant
+// name) from the obs-named package — the pass's own package when it is
+// obs, its direct import otherwise.
+func reservedNames(pass *framework.Pass) (fields, series map[string]string) {
+	obsPkg := pass.Pkg
+	if obsPkg.Name() != "obs" {
+		obsPkg = nil
+		for _, imp := range pass.Pkg.Imports() {
+			if imp.Name() == "obs" {
+				obsPkg = imp
+				break
+			}
+		}
+	}
+	if obsPkg == nil {
+		return nil, nil
+	}
+	fields, series = map[string]string{}, map[string]string{}
+	scope := obsPkg.Scope()
+	for _, name := range scope.Names() {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok || !c.Exported() {
+			continue
+		}
+		if b, ok := c.Type().Underlying().(*types.Basic); !ok || b.Info()&types.IsString == 0 {
+			continue
+		}
+		val := constString(c)
+		switch {
+		case strings.HasPrefix(name, "Field"):
+			fields[val] = name
+		case strings.HasPrefix(name, "Series"):
+			series[val] = name
+		}
+	}
+	return fields, series
+}
+
+func constString(c *types.Const) string {
+	s := c.Val().ExactString()
+	unq, err := strconv.Unquote(s)
+	if err != nil {
+		return s
+	}
+	return unq
+}
+
+func checkFile(pass *framework.Pass, file *ast.File, fields, series map[string]string, strictEquality bool) {
+	framework.WalkStack(file, func(n ast.Node, stack []ast.Node) bool {
+		lit, ok := n.(*ast.BasicLit)
+		if !ok || lit.Kind != token.STRING {
+			return true
+		}
+		if exemptPosition(lit, stack) {
+			return true
+		}
+		v, err := strconv.Unquote(lit.Value)
+		if err != nil {
+			return true
+		}
+		if name, ok := fields[v]; ok && (strictEquality || strings.Contains(v, "_")) {
+			pass.Reportf(lit.Pos(), "span-field literal %q duplicates the canonical table: use obs.%s", v, name)
+			return true
+		}
+		if name, ok := series[v]; ok {
+			pass.Reportf(lit.Pos(), "series literal %q duplicates the canonical table: use obs.%s", v, name)
+			return true
+		}
+		if strings.HasPrefix(v, enginePrefix) || strings.HasPrefix(v, serverPrefix) {
+			pass.Reportf(lit.Pos(), "literal %q squats on the reserved series namespace: declare it as a Series* constant in the obs string table", v)
+			return true
+		}
+		if key, name := formatToken(v, fields); key != "" {
+			pass.Reportf(lit.Pos(), "format string hardcodes the %q span field: build the segment from obs.%s", key, name)
+		}
+		return true
+	})
+}
+
+// exemptPosition reports whether the literal's context is outside the
+// vocabulary: an import path, a struct tag, or the canonical table's
+// own Field*/Series* constant declaration.
+func exemptPosition(lit *ast.BasicLit, stack []ast.Node) bool {
+	if len(stack) == 0 {
+		return false
+	}
+	switch parent := stack[len(stack)-1].(type) {
+	case *ast.ImportSpec:
+		return true
+	case *ast.Field:
+		return parent.Tag == lit
+	case *ast.ValueSpec:
+		for _, name := range parent.Names {
+			if strings.HasPrefix(name.Name, "Field") || strings.HasPrefix(name.Name, "Series") {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// formatToken returns the first (longest, for determinism) canonical
+// key appearing in v as a `key=` format token — at the start or after
+// a space, the EXPLAIN ANALYZE segment shape — with its constant name.
+func formatToken(v string, fields map[string]string) (key, name string) {
+	keys := make([]string, 0, len(fields))
+	for k := range fields {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if len(keys[i]) != len(keys[j]) {
+			return len(keys[i]) > len(keys[j])
+		}
+		return keys[i] < keys[j]
+	})
+	for _, k := range keys {
+		if strings.HasPrefix(v, k+"=") || strings.Contains(v, " "+k+"=") {
+			return k, fields[k]
+		}
+	}
+	return "", ""
+}

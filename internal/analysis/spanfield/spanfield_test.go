@@ -1,0 +1,22 @@
+package spanfield_test
+
+import (
+	"testing"
+
+	"relquery/internal/analysis/framework"
+	"relquery/internal/analysis/spanfield"
+)
+
+func TestSpanfieldStrict(t *testing.T) {
+	framework.RunFixtures(t, "testdata", spanfield.Analyzer, "telemetry")
+}
+
+func TestSpanfieldLoose(t *testing.T) {
+	framework.RunFixtures(t, "testdata", spanfield.Analyzer, "server")
+}
+
+// TestSpanfieldClean is the negative fixture: rendering from the
+// canonical constants produces no findings.
+func TestSpanfieldClean(t *testing.T) {
+	framework.RunFixtures(t, "testdata", spanfield.Analyzer, "algebra")
+}

@@ -1,0 +1,19 @@
+// Negative fixture for spanfield: a rendering package built entirely
+// from the canonical table. No findings expected.
+package algebra
+
+import (
+	"fmt"
+	"strings"
+
+	"relquery/internal/obs"
+)
+
+func Render(rows, peak int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, obs.FieldRows+"=%d", rows)
+	if peak > rows {
+		fmt.Fprintf(&b, " "+obs.FieldPeak+"=%d", peak)
+	}
+	return b.String()
+}

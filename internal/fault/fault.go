@@ -213,14 +213,20 @@ func NewScript(rules ...Rule) *Script {
 
 // Count reports how many times p has been crossed under this script.
 func (s *Script) Count(p Point) int64 {
+	if s == nil {
+		return 0
+	}
 	if v, ok := s.counts.Load(p); ok {
 		return v.(*atomic.Int64).Load()
 	}
 	return 0
 }
 
-// Fire implements Injector.
+// Fire implements Injector. A nil script injects nothing.
 func (s *Script) Fire(p Point) {
+	if s == nil {
+		return
+	}
 	v, _ := s.counts.LoadOrStore(p, new(atomic.Int64))
 	n := v.(*atomic.Int64).Add(1)
 	for i := range s.rules {

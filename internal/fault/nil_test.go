@@ -1,0 +1,16 @@
+package fault
+
+import "testing"
+
+// TestNilScriptNoOp: a nil *Script is "no faults configured". Fire must
+// swallow crossings and Count must report zero — the engine calls both
+// unconditionally on whatever injector is installed.
+func TestNilScriptNoOp(t *testing.T) {
+	var s *Script
+	for _, p := range Points() {
+		s.Fire(p)
+		if got := s.Count(p); got != 0 {
+			t.Errorf("nil script Count(%s) = %d, want 0", p, got)
+		}
+	}
+}

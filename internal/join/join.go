@@ -289,7 +289,13 @@ func (h Hash) join(l, r *relation.Relation) (*relation.Relation, error) {
 		if err = h.Gov.Tick(); err != nil {
 			return false
 		}
+		// One probe tuple can match the entire build side under key
+		// skew, so the emit loop ticks per output tuple: the per-probe
+		// Tick above bounds nothing once a single bucket dominates.
 		for _, bt := range table[keyProbe.key(pt)] {
+			if err = h.Gov.Tick(); err != nil {
+				return false
+			}
 			var ot relation.Tuple
 			if buildIsLeft {
 				ot = c.combine(bt, pt)

@@ -428,11 +428,11 @@ func (s *MetricsSnapshot) fold(o MetricsSnapshot) {
 // String renders the snapshot as a single stats line.
 func (s MetricsSnapshot) String() string {
 	return fmt.Sprintf(
-		"joins=%d max_intermediate=%d intermediate_tuples=%d "+
+		"joins=%d "+FieldMaxIntermediate+"=%d intermediate_tuples=%d "+
 			"built=%d probed=%d emitted=%d "+
 			"partitioned=%d partitions=%d broadcast=%d seq_fallback=%d "+
 			"wcoj=%d wcoj_candidates=%d wcoj_intersections=%d "+
-			"yannakakis=%d semijoins=%d semijoin_rows=%d degraded=%d "+
+			"yannakakis=%d "+FieldSemijoins+"=%d semijoin_rows=%d "+FieldDegraded+"=%d "+
 			"viol_deadline=%d viol_canceled=%d viol_row_budget=%d viol_mem_budget=%d viol_admission=%d "+
 			"cache_hits=%d cache_misses=%d cache_invalidations=%d",
 		s.Joins, s.MaxIntermediate, s.IntermediateTuples,

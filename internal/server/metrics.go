@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 
 	"relquery/internal/fault"
+	"relquery/internal/obs"
 	"relquery/internal/telemetry"
 )
 
@@ -58,43 +59,46 @@ func (s *Server) writeServerMetrics(w io.Writer) {
 	header := func(name, typ, help string) {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
 	}
-	header("relqueryd_requests_total", "counter", "HTTP requests handled by the query endpoint.")
-	fmt.Fprintf(w, "relqueryd_requests_total %d\n", s.metrics.requests.Load())
+	sample := func(name string, v any) {
+		fmt.Fprintf(w, "%s %d\n", name, v)
+	}
+	header(obs.SeriesServerRequests, "counter", "HTTP requests handled by the query endpoint.")
+	sample(obs.SeriesServerRequests, s.metrics.requests.Load())
 
-	header("relqueryd_admission_rejects_total", "counter", "Queries rejected pre-flight by the tenant budget (HTTP 429).")
-	fmt.Fprintf(w, "relqueryd_admission_rejects_total %d\n", s.metrics.admissionRejects.Load())
+	header(obs.SeriesServerAdmissionRejects, "counter", "Queries rejected pre-flight by the tenant budget (HTTP 429).")
+	sample(obs.SeriesServerAdmissionRejects, s.metrics.admissionRejects.Load())
 
-	header("relqueryd_inflight_queries", "gauge", "Queries currently holding a worker-pool slot.")
-	fmt.Fprintf(w, "relqueryd_inflight_queries %d\n", s.metrics.inflight.Load())
+	header(obs.SeriesServerInflight, "gauge", "Queries currently holding a worker-pool slot.")
+	sample(obs.SeriesServerInflight, s.metrics.inflight.Load())
 
-	header("relqueryd_tenant_evals_total", "counter", "Completed evaluations by tenant.")
+	header(obs.SeriesServerTenantEvals, "counter", "Completed evaluations by tenant.")
 	names, counts := s.metrics.tenantCounts()
 	for _, name := range names {
-		fmt.Fprintf(w, "relqueryd_tenant_evals_total{tenant=%q} %d\n", name, counts[name])
+		fmt.Fprintf(w, "%s{tenant=%q} %d\n", obs.SeriesServerTenantEvals, name, counts[name])
 	}
 
 	ph, pm, pe := s.plans.counters()
-	header("relqueryd_plan_cache_hits_total", "counter", "Plan cache hits (parsed expression reused).")
-	fmt.Fprintf(w, "relqueryd_plan_cache_hits_total %d\n", ph)
-	header("relqueryd_plan_cache_misses_total", "counter", "Plan cache misses.")
-	fmt.Fprintf(w, "relqueryd_plan_cache_misses_total %d\n", pm)
-	header("relqueryd_plan_cache_entries", "gauge", "Resident parsed plans.")
-	fmt.Fprintf(w, "relqueryd_plan_cache_entries %d\n", pe)
+	header(obs.SeriesServerPlanCacheHits, "counter", "Plan cache hits (parsed expression reused).")
+	sample(obs.SeriesServerPlanCacheHits, ph)
+	header(obs.SeriesServerPlanCacheMisses, "counter", "Plan cache misses.")
+	sample(obs.SeriesServerPlanCacheMisses, pm)
+	header(obs.SeriesServerPlanCacheEntries, "gauge", "Resident parsed plans.")
+	sample(obs.SeriesServerPlanCacheEntries, pe)
 
 	if s.shared != nil {
 		hits, misses, invalidations, entries := s.shared.Counters()
-		header("relqueryd_shared_cache_hits_total", "counter", "Shared subexpression cache hits across requests.")
-		fmt.Fprintf(w, "relqueryd_shared_cache_hits_total %d\n", hits)
-		header("relqueryd_shared_cache_misses_total", "counter", "Shared subexpression cache misses.")
-		fmt.Fprintf(w, "relqueryd_shared_cache_misses_total %d\n", misses)
-		header("relqueryd_shared_cache_invalidations_total", "counter", "Shared cache entries dropped by /v1/cache/reset.")
-		fmt.Fprintf(w, "relqueryd_shared_cache_invalidations_total %d\n", invalidations)
-		header("relqueryd_shared_cache_entries", "gauge", "Resident shared cache entries.")
-		fmt.Fprintf(w, "relqueryd_shared_cache_entries %d\n", entries)
+		header(obs.SeriesServerSharedCacheHits, "counter", "Shared subexpression cache hits across requests.")
+		sample(obs.SeriesServerSharedCacheHits, hits)
+		header(obs.SeriesServerSharedCacheMisses, "counter", "Shared subexpression cache misses.")
+		sample(obs.SeriesServerSharedCacheMisses, misses)
+		header(obs.SeriesServerSharedCacheInval, "counter", "Shared cache entries dropped by /v1/cache/reset.")
+		sample(obs.SeriesServerSharedCacheInval, invalidations)
+		header(obs.SeriesServerSharedCacheSize, "gauge", "Resident shared cache entries.")
+		sample(obs.SeriesServerSharedCacheSize, entries)
 	}
 
-	header("relqueryd_catalog_relations", "gauge", "Relations resident per tenant catalog.")
+	header(obs.SeriesServerCatalogRelations, "gauge", "Relations resident per tenant catalog.")
 	for _, t := range s.tenantList() {
-		fmt.Fprintf(w, "relqueryd_catalog_relations{tenant=%q} %d\n", t.name, t.size())
+		fmt.Fprintf(w, "%s{tenant=%q} %d\n", obs.SeriesServerCatalogRelations, t.name, t.size())
 	}
 }

@@ -120,48 +120,48 @@ func spanName(sp *obs.Span) string {
 // spanArgs projects a span's observability fields into the event's args,
 // omitting zero values so the detail pane stays readable.
 func spanArgs(sp *obs.Span) map[string]any {
-	args := map[string]any{"output_rows": sp.OutputRows}
+	args := map[string]any{obs.FieldOutputRows: sp.OutputRows}
 	if sp.SchemeWidth > 0 {
-		args["scheme_width"] = sp.SchemeWidth
+		args[obs.FieldSchemeWidth] = sp.SchemeWidth
 	}
 	if len(sp.InputRows) > 0 {
-		args["input_rows"] = sp.InputRows
+		args[obs.FieldInputRows] = sp.InputRows
 	}
 	if sp.Algorithm != "" {
-		args["algorithm"] = sp.Algorithm
+		args[obs.FieldAlgorithm] = sp.Algorithm
 	}
 	if sp.Workers > 0 {
-		args["workers"] = sp.Workers
+		args[obs.FieldWorkers] = sp.Workers
 	}
 	if sp.Cache != "" {
-		args["cache"] = sp.Cache
+		args[obs.FieldCache] = sp.Cache
 	}
 	if sp.AGMBound > 0 {
-		args["agm_bound"] = sp.AGMBound
+		args[obs.FieldAGMBound] = sp.AGMBound
 	}
 	if sp.MaxIntermediate > 0 {
-		args["max_intermediate"] = sp.MaxIntermediate
+		args[obs.FieldMaxIntermediate] = sp.MaxIntermediate
 	}
 	if sp.Candidates > 0 {
-		args["candidates"] = sp.Candidates
+		args[obs.FieldCandidates] = sp.Candidates
 	}
 	if sp.Intersections > 0 {
-		args["intersections"] = sp.Intersections
+		args[obs.FieldIntersections] = sp.Intersections
 	}
 	if sp.Structure != "" {
-		args["structure"] = sp.Structure
+		args[obs.FieldStructure] = sp.Structure
 	}
 	if sp.Semijoins > 0 {
-		args["semijoins"] = sp.Semijoins
+		args[obs.FieldSemijoins] = sp.Semijoins
 	}
 	if sp.ReducedRows > 0 {
-		args["reduced_rows"] = sp.ReducedRows
+		args[obs.FieldReducedRows] = sp.ReducedRows
 	}
 	if sp.Degraded {
-		args["degraded"] = true
+		args[obs.FieldDegraded] = true
 	}
 	if sp.Err != "" {
-		args["error"] = sp.Err
+		args[obs.FieldError] = sp.Err
 	}
 	return args
 }

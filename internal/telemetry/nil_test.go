@@ -1,0 +1,34 @@
+package telemetry_test
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"relquery/internal/telemetry"
+)
+
+// TestNilServerNoOp: a nil *Server is "telemetry off" — address empty,
+// close trivial, and the embeddable handler still serves the zero
+// snapshot instead of panicking whatever route is hit.
+func TestNilServerNoOp(t *testing.T) {
+	var s *telemetry.Server
+	if got := s.Addr(); got != "" {
+		t.Errorf("nil server Addr = %q, want empty", got)
+	}
+	if err := s.Close(); err != nil {
+		t.Errorf("nil server Close = %v, want nil", err)
+	}
+
+	h := s.Handler()
+	if h == nil {
+		t.Fatal("nil server Handler = nil, want the nil-registry mux")
+	}
+	for _, path := range []string{"/metrics", "/debug/traces", "/"} {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, path, nil))
+		if rec.Code != http.StatusOK {
+			t.Errorf("nil server Handler GET %s = %d, want 200", path, rec.Code)
+		}
+	}
+}

@@ -24,25 +24,25 @@ type counterSeries struct {
 }
 
 var counters = []counterSeries{
-	{"relquery_joins_total", "Join node evaluations.", func(m obs.MetricsSnapshot) int64 { return m.Joins }},
-	{"relquery_intermediate_tuples_total", "Tuples materialized in intermediate relations.", func(m obs.MetricsSnapshot) int64 { return m.IntermediateTuples }},
-	{"relquery_tuples_built_total", "Tuples inserted into join build sides.", func(m obs.MetricsSnapshot) int64 { return m.TuplesBuilt }},
-	{"relquery_tuples_probed_total", "Tuples driven through join probe sides.", func(m obs.MetricsSnapshot) int64 { return m.TuplesProbed }},
-	{"relquery_tuples_emitted_total", "Tuples emitted by join operators.", func(m obs.MetricsSnapshot) int64 { return m.TuplesEmitted }},
-	{"relquery_partitioned_joins_total", "Parallel partitioned hash joins.", func(m obs.MetricsSnapshot) int64 { return m.PartitionedJoins }},
-	{"relquery_partitions_total", "Partitions created by parallel joins.", func(m obs.MetricsSnapshot) int64 { return m.Partitions }},
-	{"relquery_broadcast_joins_total", "Parallel broadcast joins.", func(m obs.MetricsSnapshot) int64 { return m.BroadcastJoins }},
-	{"relquery_sequential_fallbacks_total", "Parallel joins that fell back to sequential.", func(m obs.MetricsSnapshot) int64 { return m.SequentialFallbacks }},
-	{"relquery_wcoj_joins_total", "Worst-case-optimal generic joins.", func(m obs.MetricsSnapshot) int64 { return m.WCOJJoins }},
-	{"relquery_wcoj_candidates_total", "Candidate values enumerated by generic joins.", func(m obs.MetricsSnapshot) int64 { return m.WCOJCandidates }},
-	{"relquery_wcoj_intersections_total", "Attribute intersections performed by generic joins.", func(m obs.MetricsSnapshot) int64 { return m.WCOJIntersections }},
-	{"relquery_yannakakis_joins_total", "Acyclic joins evaluated via Yannakakis.", func(m obs.MetricsSnapshot) int64 { return m.YannakakisJoins }},
-	{"relquery_semijoins_total", "Semijoin passes (Yannakakis sweeps and prefilters).", func(m obs.MetricsSnapshot) int64 { return m.Semijoins }},
-	{"relquery_semijoin_rows_total", "Rows removed by semijoin passes.", func(m obs.MetricsSnapshot) int64 { return m.SemijoinRows }},
-	{"relquery_degraded_evals_total", "Evaluations served by a graceful-degradation retry.", func(m obs.MetricsSnapshot) int64 { return m.DegradedEvals }},
-	{"relquery_cache_hits_total", "Subexpression cache hits.", func(m obs.MetricsSnapshot) int64 { return m.CacheHits }},
-	{"relquery_cache_misses_total", "Subexpression cache misses.", func(m obs.MetricsSnapshot) int64 { return m.CacheMisses }},
-	{"relquery_cache_invalidations_total", "Subexpression cache entries invalidated.", func(m obs.MetricsSnapshot) int64 { return m.CacheInvalidations }},
+	{obs.SeriesJoins, "Join node evaluations.", func(m obs.MetricsSnapshot) int64 { return m.Joins }},
+	{obs.SeriesIntermediateTuples, "Tuples materialized in intermediate relations.", func(m obs.MetricsSnapshot) int64 { return m.IntermediateTuples }},
+	{obs.SeriesTuplesBuilt, "Tuples inserted into join build sides.", func(m obs.MetricsSnapshot) int64 { return m.TuplesBuilt }},
+	{obs.SeriesTuplesProbed, "Tuples driven through join probe sides.", func(m obs.MetricsSnapshot) int64 { return m.TuplesProbed }},
+	{obs.SeriesTuplesEmitted, "Tuples emitted by join operators.", func(m obs.MetricsSnapshot) int64 { return m.TuplesEmitted }},
+	{obs.SeriesPartitionedJoins, "Parallel partitioned hash joins.", func(m obs.MetricsSnapshot) int64 { return m.PartitionedJoins }},
+	{obs.SeriesPartitions, "Partitions created by parallel joins.", func(m obs.MetricsSnapshot) int64 { return m.Partitions }},
+	{obs.SeriesBroadcastJoins, "Parallel broadcast joins.", func(m obs.MetricsSnapshot) int64 { return m.BroadcastJoins }},
+	{obs.SeriesSequentialFallbacks, "Parallel joins that fell back to sequential.", func(m obs.MetricsSnapshot) int64 { return m.SequentialFallbacks }},
+	{obs.SeriesWCOJJoins, "Worst-case-optimal generic joins.", func(m obs.MetricsSnapshot) int64 { return m.WCOJJoins }},
+	{obs.SeriesWCOJCandidates, "Candidate values enumerated by generic joins.", func(m obs.MetricsSnapshot) int64 { return m.WCOJCandidates }},
+	{obs.SeriesWCOJIntersections, "Attribute intersections performed by generic joins.", func(m obs.MetricsSnapshot) int64 { return m.WCOJIntersections }},
+	{obs.SeriesYannakakisJoins, "Acyclic joins evaluated via Yannakakis.", func(m obs.MetricsSnapshot) int64 { return m.YannakakisJoins }},
+	{obs.SeriesSemijoins, "Semijoin passes (Yannakakis sweeps and prefilters).", func(m obs.MetricsSnapshot) int64 { return m.Semijoins }},
+	{obs.SeriesSemijoinRows, "Rows removed by semijoin passes.", func(m obs.MetricsSnapshot) int64 { return m.SemijoinRows }},
+	{obs.SeriesDegradedEvals, "Evaluations served by a graceful-degradation retry.", func(m obs.MetricsSnapshot) int64 { return m.DegradedEvals }},
+	{obs.SeriesCacheHits, "Subexpression cache hits.", func(m obs.MetricsSnapshot) int64 { return m.CacheHits }},
+	{obs.SeriesCacheMisses, "Subexpression cache misses.", func(m obs.MetricsSnapshot) int64 { return m.CacheMisses }},
+	{obs.SeriesCacheInvalidations, "Subexpression cache entries invalidated.", func(m obs.MetricsSnapshot) int64 { return m.CacheInvalidations }},
 }
 
 // WriteMetrics writes the registry snapshot and fault firing counters in
@@ -53,35 +53,35 @@ var counters = []counterSeries{
 func WriteMetrics(w io.Writer, snap obs.RegistrySnapshot, firings map[fault.Point]int64) error {
 	bw := bufio.NewWriter(w)
 
-	writeHeader(bw, "relquery_evals_total", "counter", "Evaluations observed by the registry.")
-	fmt.Fprintf(bw, "relquery_evals_total %d\n", snap.Evals)
+	writeHeader(bw, obs.SeriesEvals, "counter", "Evaluations observed by the registry.")
+	fmt.Fprintf(bw, "%s %d\n", obs.SeriesEvals, snap.Evals)
 
 	for _, c := range counters {
 		writeHeader(bw, c.name, "counter", c.help)
 		fmt.Fprintf(bw, "%s %d\n", c.name, c.get(snap.Metrics))
 	}
 
-	writeHeader(bw, "relquery_governor_violations_total", "counter",
+	writeHeader(bw, obs.SeriesGovernorViolations, "counter",
 		"Governance violations by sentinel (one per tripped evaluation).")
 	for _, vc := range snap.Metrics.ViolationCounts() {
-		fmt.Fprintf(bw, "relquery_governor_violations_total{sentinel=%q} %d\n", vc.Kind, vc.Count)
+		fmt.Fprintf(bw, "%s{sentinel=%q} %d\n", obs.SeriesGovernorViolations, vc.Kind, vc.Count)
 	}
 
-	writeHeader(bw, "relquery_fault_firings_total", "counter",
+	writeHeader(bw, obs.SeriesFaultFirings, "counter",
 		"Fault-injection crossings delivered to an injector, by point.")
 	for _, p := range fault.Points() {
-		fmt.Fprintf(bw, "relquery_fault_firings_total{point=%q} %d\n", string(p), firings[p])
+		fmt.Fprintf(bw, "%s{point=%q} %d\n", obs.SeriesFaultFirings, string(p), firings[p])
 	}
 
-	writeHeader(bw, "relquery_peak_intermediate_rows_gauge", "gauge",
+	writeHeader(bw, obs.SeriesPeakGauge, "gauge",
 		"Largest intermediate cardinality observed by any evaluation.")
-	fmt.Fprintf(bw, "relquery_peak_intermediate_rows_gauge %d\n", snap.Metrics.MaxIntermediate)
+	fmt.Fprintf(bw, "%s %d\n", obs.SeriesPeakGauge, snap.Metrics.MaxIntermediate)
 
-	writeHistogram(bw, "relquery_eval_latency_seconds",
+	writeHistogram(bw, obs.SeriesLatencyHist,
 		"Evaluation wall time, in seconds.", snap.Latency)
-	writeHistogram(bw, "relquery_peak_intermediate_rows",
+	writeHistogram(bw, obs.SeriesPeakRowsHist,
 		"Per-evaluation largest intermediate cardinality.", snap.PeakRows)
-	writeHistogram(bw, "relquery_peak_agm_ratio",
+	writeHistogram(bw, obs.SeriesAGMRatioHist,
 		"Per-evaluation worst observed-peak / AGM-bound ratio.", snap.AGMRatio)
 
 	return bw.Flush()

@@ -102,8 +102,14 @@ func (s *Server) Close() error {
 }
 
 // Handler returns the telemetry mux, for embedding the endpoints into an
-// existing server instead of running a dedicated one.
-func (s *Server) Handler() http.Handler { return NewHandler(s.reg) }
+// existing server instead of running a dedicated one. A nil server
+// yields the nil-registry mux, which serves zero snapshots.
+func (s *Server) Handler() http.Handler {
+	if s == nil {
+		return NewHandler(nil)
+	}
+	return NewHandler(s.reg)
+}
 
 // NewHandler returns the telemetry mux for a registry without starting a
 // server: /metrics, /debug/traces, /debug/pprof/* and an index page.
